@@ -1,0 +1,67 @@
+"""E2/E5 — Figure 4: cost of RMI vs LMI across invocation counts.
+
+Regenerates the figure's curves on simulated time and asserts every
+conclusion the paper draws from it (Section 4.1):
+
+1. "the LMI on a replica performs better than RMI for larger number of
+   invocations and for smaller objects";
+2. "with RMI, the object size has no influence on the invocations time;
+   however, this time grows very sharply with the number of invocations";
+3. "for small objects and few invocations, the performance of RMI and
+   LMI is similar; the cost of creating a replica and then updating the
+   master replica is comparable."
+"""
+
+from repro.bench.asciiplot import render_table
+from repro.bench.figures import crossover_invocations, fig4_series
+from repro.bench.harness import FIG4_SIZES
+from repro.util.sizes import format_bytes
+
+
+def _generate():
+    return fig4_series()
+
+
+def test_fig4_claims(once):
+    curves = once(_generate)
+
+    rmi = curves["RMI"]
+
+    # Claim 2a: RMI grows linearly (sharply) with invocation count.
+    assert rmi.at(10000) > 1000 * rmi.at(10) * 0.9
+    # (size-independence is asserted separately in test_micro_lmi_rmi.)
+
+    # Claim 1: for every size there is a crossover, and it moves right as
+    # objects get bigger (replica creation costs more, so LMI needs more
+    # invocations to amortize it).
+    crossovers = [crossover_invocations(curves, size) for size in FIG4_SIZES]
+    assert all(x is not None for x in crossovers), "LMI must eventually win"
+    assert crossovers == sorted(crossovers), (
+        f"crossover points must be monotone in object size, got {crossovers}"
+    )
+
+    # Claim 2b: LMI's slope is orders of magnitude below RMI's — 9000
+    # additional invocations cost 9000 x 2 us locally vs 9000 x 2.8 ms
+    # remotely.
+    rmi_slope = rmi.at(10000) - rmi.at(1000)
+    for size in FIG4_SIZES:
+        lmi = curves[f"LMI {size}"]
+        lmi_slope = lmi.at(10000) - lmi.at(1000)
+        assert lmi_slope < rmi_slope / 100
+
+    # Claim 3: at one invocation, small-object LMI is the same order of
+    # magnitude as RMI (within ~5x), not orders apart.
+    assert curves["LMI 16"].at(1) < 5 * rmi.at(1)
+
+    # Print the paper-style table for the record.
+    headers = ["n", "RMI"] + [f"LMI {format_bytes(s)}" for s in FIG4_SIZES]
+    rows = [
+        [int(x), rmi.at(x)] + [curves[f"LMI {s}"].at(x) for s in FIG4_SIZES]
+        for x in rmi.xs
+    ]
+    print("\nFigure 4 (ms):")
+    print(render_table(headers, rows))
+    print(
+        "crossovers:",
+        {format_bytes(s): crossover_invocations(curves, s) for s in FIG4_SIZES},
+    )

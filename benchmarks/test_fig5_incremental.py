@@ -1,0 +1,66 @@
+"""E3/E6 — Figure 5: incremental replication without clustering.
+
+Regenerates the 1000-object-list sweep (chunk ∈ {1,10,50,100,500,1000},
+object sizes 64 B / 1 KB / 16 KB) and asserts the paper's Section 4.2
+conclusions:
+
+1. "the steps observed are due to the creation and transference of
+   replicas along with the corresponding proxy-in/proxy-out pairs";
+2. "the creation and transference of replicas along with the pairs is
+   more significant than object invocations";
+3. "the incremental replication of one object each time is the most
+   flexible alternative but is the least efficient for large number of
+   invocations";
+4. "the incremental replication of 10 to 100 objects each time is the
+   most efficient alternative";
+5. "the incremental replication of 500 or 1000 objects each time is not
+   efficient because of the high cost of creation and transference of
+   the corresponding replicas and proxy-out/proxy-in pairs".
+"""
+
+from repro.bench.asciiplot import render_table
+from repro.bench.figures import fig5_series, staircase_step_count, total_times_ms
+from repro.bench.harness import FIG56_CHUNKS, FIG56_SIZES
+from repro.util.sizes import format_bytes
+
+
+def test_fig5_generate(once):
+    """Time the full Figure 5 sweep (and print its totals)."""
+    data = once(fig5_series)
+    print("\nFigure 5 totals (ms):")
+    rows = []
+    for size in FIG56_SIZES:
+        totals = total_times_ms(data[size])
+        rows.append([format_bytes(size)] + [f"{totals[c]:.0f}" for c in FIG56_CHUNKS])
+    print(render_table(["object size"] + [str(c) for c in FIG56_CHUNKS], rows))
+
+    for size in FIG56_SIZES:
+        panel = data[size]
+        totals = total_times_ms(panel)
+
+        # Claim 3: chunk 1 is the least efficient for a full traversal.
+        worst = max(totals, key=totals.get)
+        assert worst == 1, f"size {size}: expected chunk 1 worst, got {worst}"
+
+        # Claim 4: the optimum lies in 10..100.
+        best = min(totals, key=totals.get)
+        assert 10 <= best <= 100, f"size {size}: optimum chunk {best} not in 10..100"
+
+        # Claim 5: 500 and 1000 are worse than the 10..100 regime.
+        best_mid = min(totals[10], totals[50], totals[100])
+        assert totals[500] > best_mid
+        assert totals[1000] > best_mid
+
+        # Claim 1: curves show one step per fetch — chunk k ⇒ ~1000/k
+        # steps of at least one RTT each.
+        for chunk in (10, 100):
+            series = panel[chunk]
+            steps = staircase_step_count(series, min_jump_ms=2.0)
+            expected = 1000 // chunk - 1  # the first fetch precedes invocation 1
+            assert abs(steps - expected) <= expected * 0.1 + 1, (
+                f"size {size} chunk {chunk}: {steps} steps, expected ~{expected}"
+            )
+
+        # Claim 2: fetch costs dwarf invocation costs — pure invocation
+        # time for 1000 calls is 2 ms; every total is far above it.
+        assert min(totals.values()) > 50 * 2.0

@@ -1,0 +1,75 @@
+"""E4/E6 — Figure 6: incremental replication with clustering.
+
+Same sweep as Figure 5 but clustered (one proxy pair per fetch).
+Asserts the paper's Section 4.3 conclusions:
+
+1. "when compared to the previous section the performance results are
+   much better because there is only one proxy-out/proxy-in pair being
+   created and transferred for each cluster; the most significant
+   performance cost is data serialization and network communication";
+2. "the performance results are not that sensitive to the amount of
+   objects being replicated each time (i.e. the curves are closer)".
+"""
+
+from repro.bench.asciiplot import render_table
+from repro.bench.figures import (
+    fig5_series,
+    fig6_series,
+    spread_absolute_ms,
+    total_times_ms,
+)
+from repro.bench.harness import FIG56_CHUNKS, FIG56_SIZES
+from repro.util.sizes import format_bytes
+
+
+def _generate_both():
+    return fig5_series(), fig6_series()
+
+
+def test_fig6_claims(once):
+    fig5, fig6 = once(_generate_both)
+
+    print("\nFigure 6 totals (ms) [Figure 5 in brackets]:")
+    rows = []
+    for size in FIG56_SIZES:
+        t5 = total_times_ms(fig5[size])
+        t6 = total_times_ms(fig6[size])
+        rows.append(
+            [format_bytes(size)]
+            + [f"{t6[c]:.0f} [{t5[c]:.0f}]" for c in FIG56_CHUNKS]
+        )
+    print(render_table(["object size"] + [str(c) for c in FIG56_CHUNKS], rows))
+
+    for size in FIG56_SIZES:
+        t5 = total_times_ms(fig5[size])
+        t6 = total_times_ms(fig6[size])
+
+        # Claim 1: clustering is at least as fast everywhere, and strictly
+        # much better where pairs dominate (small objects, big chunks).
+        for chunk in FIG56_CHUNKS:
+            assert t6[chunk] <= t5[chunk] * 1.01, (
+                f"size {size} chunk {chunk}: cluster {t6[chunk]:.0f}ms should not "
+                f"exceed per-object {t5[chunk]:.0f}ms"
+            )
+        assert t6[1000] < t5[1000] / 2 or size == 16384, (
+            "for small objects and big chunks, one pair per cluster must be "
+            "dramatically cheaper than 1000 pairs"
+        )
+
+        # Claim 2: the cluster curves sit closer together — the visual
+        # distance between the highest and lowest curve shrinks.  Compare
+        # over the multi-object sizes (cluster size 1 degenerates to
+        # per-object replication in both figures).
+        multi5 = {c: fig5[size][c] for c in FIG56_CHUNKS if c >= 10}
+        multi6 = {c: fig6[size][c] for c in FIG56_CHUNKS if c >= 10}
+        assert spread_absolute_ms(multi6) < spread_absolute_ms(multi5), (
+            f"size {size}: cluster spread {spread_absolute_ms(multi6):.0f}ms should "
+            f"be below per-object spread {spread_absolute_ms(multi5):.0f}ms"
+        )
+
+    # Claim 1's cost attribution: for 16 KB objects the totals are pinned
+    # by serialization + network, so cluster size barely matters (<3%
+    # variation across 10..1000).
+    t6_16k = total_times_ms(fig6[16384])
+    multi = [t6_16k[c] for c in FIG56_CHUNKS if c >= 10]
+    assert (max(multi) - min(multi)) / min(multi) < 0.03

@@ -1,0 +1,55 @@
+"""F1/F2 — the paper's Section 6 future-work studies.
+
+"We plan to test our prototype … under different network conditions
+(wide-area and wireless).  We will study how the performance numbers
+depend on the relative speed of the processors involved, for example,
+between a hand-held PC such as Compaq iPaq, and a desktop PC."
+"""
+
+from repro.bench.future_work import cpu_speed_study, network_conditions_study
+
+
+def test_network_conditions(once):
+    """F1: worse links push the optimum toward bigger fetches, and
+    clustering wins everywhere."""
+    rows = once(network_conditions_study)
+    by_name = {row.network: row for row in rows}
+
+    # Optimal chunk is non-decreasing as the link worsens (RTT grows).
+    ordered = ["lan-10mbps", "wlan-802.11b", "wan", "gprs"]
+    best = [by_name[name].best_chunk for name in ordered]
+    assert best == sorted(best), f"optimal chunk must grow with RTT, got {best}"
+
+    # On high-latency links, one-object fetches are catastrophic.
+    gprs = by_name["gprs"]
+    assert gprs.chunk_totals_ms[1] > 5 * gprs.chunk_totals_ms[200]
+
+    # Clustering is at least as good as the best per-object strategy on
+    # every network.
+    for row in rows:
+        assert min(row.cluster_totals_ms.values()) <= min(row.chunk_totals_ms.values())
+
+    print("\nF1:", [(r.network, r.best_chunk, r.best_cluster) for r in rows])
+
+
+def test_cpu_speed(once):
+    """F2: slower devices amortize replication later and prefer smaller
+    fetch bursts."""
+    rows = once(cpu_speed_study)
+
+    # The RMI/LMI crossover never moves left as the CPU slows down
+    # (replica creation is CPU work).
+    crossovers = [row.rmi_vs_lmi_crossover for row in rows]
+    assert all(x is not None for x in crossovers)
+    assert crossovers == sorted(crossovers)
+
+    # LMI setup cost grows monotonically with the slowdown.
+    setups = [row.lmi_setup_ms for row in rows]
+    assert setups == sorted(setups)
+
+    # The optimal chunk never grows on slower CPUs (serialization bursts
+    # hurt more).
+    chunks = [row.best_chunk for row in rows]
+    assert chunks == sorted(chunks, reverse=True)
+
+    print("\nF2:", [(r.cpu_factor, r.rmi_vs_lmi_crossover, r.best_chunk) for r in rows])

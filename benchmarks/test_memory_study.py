@@ -1,0 +1,48 @@
+"""A6 — memory footprint under partial access.
+
+Paper Figure 5, last conclusion: "for info-appliances with reduced
+amount of free memory, when only a part of the objects are effectively
+needed, it is clearly advantageous to incrementally replicate a small
+number of objects (but more than one each time)."
+"""
+
+from repro.bench.memory_study import memory_study
+
+
+def test_memory_study_claims(once):
+    rows = once(memory_study)
+    by_chunk = {row.chunk: row for row in rows}
+
+    # Needing 100 of 1000 objects: chunks up to 100 hold exactly what
+    # was needed...
+    for chunk in (1, 10, 50, 100):
+        assert by_chunk[chunk].overshoot <= 1.1
+
+    # ...while 500/1000 waste device memory on objects never touched.
+    assert by_chunk[500].overshoot >= 4.5
+    assert by_chunk[1000].overshoot >= 9.0
+    assert by_chunk[1000].memory_bytes > 9 * by_chunk[100].memory_bytes
+
+    # "but more than one each time": chunk 1 matches the memory of the
+    # 10..100 regime yet pays far more time (a fault per object).
+    assert by_chunk[1].time_ms > 2 * by_chunk[50].time_ms
+
+    # And the big chunks lose on *both* axes under partial access.
+    assert by_chunk[1000].time_ms > by_chunk[50].time_ms
+    assert by_chunk[500].time_ms > by_chunk[50].time_ms
+
+    print(
+        "\nA6:",
+        [(r.chunk, f"{r.time_ms:.0f}ms", f"{r.overshoot:.1f}x") for r in rows],
+    )
+
+
+def test_needed_bound_validated(once):
+    import pytest
+
+    def probe():
+        with pytest.raises(ValueError):
+            memory_study(length=10, needed=20, chunks=(1,))
+        return True
+
+    assert once(probe)

@@ -1,0 +1,76 @@
+"""E1 — the Section 4.1 anchor measurements.
+
+Paper: "The time it takes to make a local method invocation is 2
+microseconds.  A remote method invocation takes 2.8 milliseconds and,
+obviously, is independent of the object size."
+
+Two kinds of measurement:
+
+* simulated — the calibrated model must hit the paper's numbers almost
+  exactly (that is what calibration means);
+* wall-clock (pytest-benchmark) — the real Python overhead of one LMI
+  and one loopback RMI through the middleware, reported for the record.
+"""
+
+from repro.bench.figures import experiment_anchors
+from repro.bench.workloads import PayloadNode, payload_for_size
+from repro.core.costs import CostModel
+from repro.core.runtime import World
+
+
+def test_simulated_anchors_match_paper(once):
+    anchors = once(experiment_anchors)
+    # LMI is exactly the calibrated constant.
+    assert abs(anchors.lmi_microseconds - 2.0) < 0.01
+    # RMI: 2.8 ms within 5% (the frame envelope adds a little).
+    assert abs(anchors.rmi_milliseconds - 2.8) / 2.8 < 0.05
+    print(
+        f"\nE1 anchors: LMI={anchors.lmi_microseconds:.2f}us (paper 2us), "
+        f"RMI={anchors.rmi_milliseconds:.3f}ms (paper 2.8ms)"
+    )
+
+
+def test_wallclock_lmi(benchmark):
+    """Real cost of one local invocation on a replica (no simulation)."""
+    world = World.loopback(costs=CostModel.zero())
+    provider = world.create_site("S2")
+    consumer = world.create_site("S1")
+    provider.export(PayloadNode(index=1), name="obj")
+    replica = consumer.replicate("obj")
+    benchmark(replica.get_index)
+
+
+def test_wallclock_rmi_loopback(benchmark):
+    """Real cost of one loopback RMI through encode/dispatch/decode."""
+    world = World.loopback(costs=CostModel.zero())
+    provider = world.create_site("S2")
+    consumer = world.create_site("S1")
+    provider.export(PayloadNode(index=1), name="obj")
+    stub = consumer.remote_stub("obj")
+    benchmark(stub.get_index)
+
+
+def test_rmi_independent_of_object_size(once):
+    """The paper's claim that RMI cost does not depend on object size."""
+
+    def measure():
+        times = {}
+        for size in (16, 65536):
+            world = World.loopback()
+            provider = world.create_site("S2")
+            consumer = world.create_site("S1")
+            provider.export(
+                PayloadNode(index=1, payload=payload_for_size(size)), name="obj"
+            )
+            stub = consumer.remote_stub("obj")
+            start = world.clock.now()
+            for _ in range(100):
+                stub.get_index()
+            times[size] = world.clock.now() - start
+        return times
+
+    times = once(measure)
+    small, large = times[16], times[65536]
+    assert abs(large - small) / small < 0.01, (
+        "RMI invocation cost must not depend on the target object's size"
+    )

@@ -1,0 +1,70 @@
+"""A5 — the access-strategy study.
+
+The paper's core argument: "applications may decide, at run-time, what
+is the best way to invoke an object: via remote method invocation (RMI),
+or locally via local method invocation (LMI)" — because neither wins
+always.  This benchmark replays skewed collaborative sessions under
+three strategies and asserts the crossover structure that makes the
+run-time choice worth having.
+"""
+
+from repro.bench.strategies import (
+    SessionSpec,
+    generate_session,
+    session_length_sweep,
+)
+
+
+def _by_strategy(results):
+    return {result.strategy: result for result in results}
+
+
+def test_strategy_crossover(once):
+    sweep = once(session_length_sweep)
+
+    short = _by_strategy(sweep[5])
+    mid = _by_strategy(sweep[100])
+    long = _by_strategy(sweep[500])
+
+    # Short sessions: pure RMI wins — replication cannot amortize.
+    assert short["rmi-only"].simulated_ms < short["replicate-on-use"].simulated_ms
+    assert short["rmi-only"].simulated_ms < short["hoard-all"].simulated_ms
+
+    # Long sessions: replication wins decisively.
+    assert long["replicate-on-use"].simulated_ms < long["rmi-only"].simulated_ms / 2
+
+    # Hoard-all is never better than replicate-on-use under skew: it
+    # moves documents the session never touches...
+    for length in (5, 100, 500):
+        by = _by_strategy(sweep[length])
+        assert by["hoard-all"].simulated_ms >= by["replicate-on-use"].simulated_ms
+        assert by["hoard-all"].documents_moved >= by["replicate-on-use"].documents_moved
+
+    # ...and the gap narrows as coverage approaches the whole workspace.
+    gap_mid = mid["hoard-all"].simulated_ms - mid["replicate-on-use"].simulated_ms
+    gap_long = long["hoard-all"].simulated_ms - long["replicate-on-use"].simulated_ms
+    assert gap_long < gap_mid
+
+    # RMI moves the fewest bytes on tiny sessions; replication's bytes
+    # are dominated by document transfer, not by invocations.
+    assert _by_strategy(sweep[5])["rmi-only"].network_bytes < _by_strategy(sweep[5])[
+        "replicate-on-use"
+    ].network_bytes
+
+    print(
+        "\nA5 winners:",
+        {length: min(results, key=lambda r: r.simulated_ms).strategy
+         for length, results in sweep.items()},
+    )
+
+
+def test_session_generation_is_deterministic(once):
+    def both():
+        spec = SessionSpec(seed=42)
+        return generate_session(spec), generate_session(spec)
+
+    first, second = once(both)
+    assert first == second
+    assert all(kind in ("read", "write") for _doc, kind in first)
+    docs = {doc for doc, _kind in first}
+    assert docs  # skewed but non-empty coverage

@@ -1,0 +1,95 @@
+"""Mobile agenda: the paper's info-appliance scenario.
+
+A user keeps an agenda on the office PC and carries a PDA.  Before
+leaving, the PDA hoards the agenda (whole transitive closure).  In the
+taxi there is no coverage: the user keeps working on the local replica,
+and a colleague edits the office copy concurrently.  On reconnect, the
+node reconciles — one entry conflicts and is resolved by merging.
+
+Run:  python examples/mobile_agenda.py
+"""
+
+from repro import obiwan
+from repro.mobility import MobileNode, ReconcileAction
+
+
+@obiwan.compile
+class Agenda:
+    """A day's appointments."""
+
+    def __init__(self, owner: str = ""):
+        self.owner = owner
+        self.entries: list[str] = []
+
+    def add(self, text: str) -> None:
+        self.entries.append(text)
+
+    def remove(self, text: str) -> None:
+        self.entries.remove(text)
+
+    def all(self) -> list[str]:
+        return list(self.entries)
+
+    def count(self) -> int:
+        return len(self.entries)
+
+
+def main() -> None:
+    world = obiwan.World.loopback(link=obiwan.WIRELESS_WLAN)
+    office = world.create_site("office-pc")
+    pda_site = world.create_site("pda")
+
+    master = Agenda("alice")
+    master.add("09:00 standup")
+    master.add("12:30 lunch w/ Bob")
+    office.export(master, name="agenda")
+
+    pda = MobileNode(pda_site)
+
+    # --- before leaving: hoard ------------------------------------------
+    agenda = pda.hoard("agenda")
+    print("hoarded:", agenda.all())
+    print("hoard complete (safe to disconnect):", pda.hoard_store.is_complete("agenda"))
+
+    # --- in the taxi: no coverage ---------------------------------------
+    pda.go_offline(voluntary=False)
+
+    # Plain RMI would fail; the fallback invoker serves the replica and
+    # flags possible staleness — "even if such data is not up to date".
+    result = pda.call("agenda", "count")
+    print(
+        f"offline read: {result.value} entries "
+        f"(served by {result.served_by.value}, possibly stale: {result.possibly_stale})"
+    )
+
+    agenda.add("15:00 call travel agency")  # disconnected write, LMI
+
+    # Meanwhile a colleague updates the office copy.
+    master.add("16:00 budget review")
+    office.touch(master)
+
+    # --- back online: reconcile -----------------------------------------
+    def union_resolver(site, replica) -> ReconcileAction:
+        # Merge: keep both sides' entries (order-preserving union).
+        local = replica.all()
+        site.refresh(replica)  # replica now holds master state
+        merged = list(dict.fromkeys([*replica.all(), *local]))
+        replica.entries = merged
+        site.put_back(replica)
+        return ReconcileAction.PUSHED
+
+    report = pda.go_online(on_conflict=union_resolver)
+    print("reconciliation:", report)
+    print("agenda after merge:")
+    for entry in master.all():
+        print("   -", entry)
+
+    # --- a relaxed transaction, validated at commit ----------------------
+    with pda.transaction() as tx:
+        tx.write(agenda, "add", "18:00 gym")
+        tx.read(agenda, "count")
+    print("transaction committed; master count:", master.count())
+
+
+if __name__ == "__main__":
+    main()

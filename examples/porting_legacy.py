@@ -1,0 +1,117 @@
+"""Porting existing applications onto OBIWAN (paper Section 3.2).
+
+Two starting points, both handled by obicomp:
+
+1. a **legacy, non-distributed class** — ported untouched; OBIWAN derives
+   the interface and generates the proxies;
+2. an **RMI-style implementation class** (business methods mixed with
+   RMI plumbing) — obicomp strips the plumbing and produces a clean
+   local class.
+
+The example also uses obicomp's source-emitting mode, which writes the
+generated interface + proxy classes out as Python code — the analogue of
+the Java tool's source augmentation.
+
+Run:  python examples/porting_legacy.py
+"""
+
+from repro import obiwan
+
+
+# ---------------------------------------------------------------------------
+# 1. A legacy class, written years ago with no distribution in mind.
+# ---------------------------------------------------------------------------
+class InventoryLedger:
+    """Plain Python: no OBIWAN imports, no decorators."""
+
+    def __init__(self):
+        self.movements = []
+
+    def record(self, item, delta):
+        self.movements.append((item, delta))
+
+    def balance(self, item):
+        return sum(delta for name, delta in self.movements if name == item)
+
+    def movement_count(self):
+        return len(self.movements)
+
+
+# ---------------------------------------------------------------------------
+# 2. An RMI-era implementation class: business logic entangled with
+#    remote plumbing (export/bind/lookup-style methods).
+# ---------------------------------------------------------------------------
+class PriceServiceRemoteImpl:
+    """The 'typical RMI-based approach' the paper describes."""
+
+    def __init__(self):
+        self.prices = {}
+
+    # --- business logic -------------------------------------------------
+    def quote(self, item):
+        return self.prices.get(item, 0.0)
+
+    def update_quote(self, item, price):
+        self.prices[item] = price
+
+    # --- RMI plumbing obicomp strips ------------------------------------
+    def export(self):  # pragma: no cover - plumbing placeholder
+        raise NotImplementedError("legacy RMI plumbing")
+
+    def bind(self, name):  # pragma: no cover - plumbing placeholder
+        raise NotImplementedError("legacy RMI plumbing")
+
+
+def main() -> None:
+    # --- port both classes ------------------------------------------------
+    Ledger = obiwan.port_legacy_class(InventoryLedger)
+    print("ported legacy class; derived interface:", obiwan.interface_of(Ledger))
+
+    PriceService = obiwan.port_rmi_class(PriceServiceRemoteImpl)
+    print(
+        f"ported RMI class {PriceServiceRemoteImpl.__name__} -> {PriceService.__name__}; "
+        f"interface: {obiwan.interface_of(PriceService)}"
+    )
+
+    # --- and use them, distributed, unchanged -----------------------------
+    world = obiwan.World.loopback()
+    warehouse = world.create_site("warehouse")
+    shop = world.create_site("shop")
+
+    ledger = Ledger()
+    ledger.record("widget", +100)
+    warehouse.export(ledger, name="ledger")
+
+    prices = PriceService()
+    prices.update_quote("widget", 4.99)
+    warehouse.export(prices, name="prices")
+
+    # The shop replicates the ledger, works locally, pushes back.
+    shop_ledger = shop.replicate("ledger")
+    shop_ledger.record("widget", -3)
+    shop.put_back(shop_ledger)
+    print("warehouse balance after shop sale:", ledger.balance("widget"))
+
+    # The stripped RMI class serves quotes remotely or on a replica.
+    quote_stub = shop.remote_stub("prices")
+    print("RMI quote:", quote_stub.quote("widget"))
+
+    # --- emit the generated sources (the obicomp tool's output) -----------
+    module_source = obiwan.emit_module([Ledger, PriceService])
+    line_count = len(module_source.splitlines())
+    print(f"\nobicomp emitted {line_count} lines of generated code; excerpt:")
+    for line in module_source.splitlines():
+        if line.startswith("class "):
+            print("   ", line)
+
+    # The emitted module is valid Python:
+    namespace: dict = {}
+    exec(compile(module_source, "<obicomp-output>", "exec"), namespace)
+    print(
+        "emitted module defines:",
+        sorted(name for name in namespace if not name.startswith("__"))[:8],
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,166 @@
+"""Virtual enterprise: collaborative catalogue across three companies.
+
+The paper's motivating domain: "a virtual enterprise grouping several
+companies from different countries".  A supplier hosts a product
+catalogue (a linked list of products, each with a price history).  Two
+partner companies browse it with **cluster replication** (cheap bulk
+fetch over a WAN), edit concurrently under **version vectors**, and
+resolve the inevitable conflict with a domain resolver.
+
+Run:  python examples/virtual_enterprise.py
+"""
+
+from repro import obiwan
+from repro.consistency import VectorCoordinator, VectorReplica
+from repro.util.errors import ConsistencyError
+
+
+@obiwan.compile
+class Product:
+    """One catalogue entry."""
+
+    def __init__(self, sku: str = "", price: float = 0.0, nxt: "Product | None" = None):
+        self.sku = sku
+        self.price = price
+        self.stock = 0
+        self.next = nxt
+
+    def get_sku(self) -> str:
+        return self.sku
+
+    def get_price(self) -> float:
+        return self.price
+
+    def set_price(self, price: float) -> None:
+        self.price = price
+
+    def reserve(self, units: int) -> None:
+        self.stock -= units
+
+    def restock(self, units: int) -> None:
+        self.stock += units
+
+    def get_stock(self) -> int:
+        return self.stock
+
+    def get_next(self) -> "Product | None":
+        return self.next
+
+
+@obiwan.compile
+class Catalogue:
+    """The catalogue head: named entry point to the product list."""
+
+    def __init__(self, company: str = ""):
+        self.company = company
+        self.head: Product | None = None
+
+    def get_company(self) -> str:
+        return self.company
+
+    def get_head(self) -> "Product | None":
+        return self.head
+
+    def set_head(self, head: "Product | None") -> None:
+        self.head = head
+
+
+def build_catalogue(n_products: int) -> Catalogue:
+    catalogue = Catalogue("ACME Components")
+    head: Product | None = None
+    for index in range(n_products - 1, -1, -1):
+        head = Product(sku=f"SKU-{index:04d}", price=10.0 + index, nxt=head)
+    catalogue.set_head(head)
+    return catalogue
+
+
+def main() -> None:
+    # The partners are across the Internet, not a LAN.
+    world = obiwan.World.loopback(link=obiwan.WAN)
+    supplier = world.create_site("acme.example")
+    partner_de = world.create_site("partner.de")
+    partner_jp = world.create_site("partner.jp")
+
+    catalogue = build_catalogue(40)
+    supplier.export(catalogue, name="catalogue")
+    coordinator = VectorCoordinator.export_on(supplier)
+
+    # --- bulk browse with clusters over the WAN --------------------------
+    t0 = world.clock.now()
+    de_cat = partner_de.replicate("catalogue", mode=obiwan.Cluster(size=20))
+    browse_cost = (world.clock.now() - t0) * 1e3
+    count = 0
+    node = de_cat.get_head()
+    while node is not None and not isinstance(node, obiwan.ProxyOutBase):
+        count += 1
+        node = node.get_next()
+    # The 20-object cluster is the catalogue head + the first 19 products.
+    print(
+        f"partner.de fetched the catalogue head + {count} products as one "
+        f"cluster in {browse_cost:.0f} ms (WAN)"
+    )
+
+    # Walking past the cluster frontier faults in the next cluster.
+    frontier = node
+    print("frontier is a proxy-out:", isinstance(frontier, obiwan.ProxyOutBase))
+    print("first SKU past frontier:", frontier.get_sku())
+
+    # --- concurrent edits under version vectors --------------------------
+    # Both partners replicate the same product individually (per-object
+    # pair: individually updatable).
+    sku_ref = supplier.export(catalogue.get_head())  # the first product
+    de_product = partner_de.replicate(sku_ref)
+    jp_product = partner_jp.replicate(sku_ref)
+
+    def prefer_lower_price(replica: Product, fresh_state: dict) -> None:
+        # Domain rule: in a price war, the lower price wins; stock is
+        # taken from the fresher master state.
+        replica.price = min(replica.price, fresh_state["price"])
+        replica.stock = fresh_state["stock"]
+
+    de_vectors = VectorReplica(partner_de, resolver=None)
+    jp_vectors = VectorReplica(partner_jp, resolver=prefer_lower_price)
+    de_vectors.track(de_product)
+    jp_vectors.track(jp_product)
+
+    de_product.set_price(9.50)
+    de_vectors.write_back(de_product)
+    print(f"partner.de set price to {catalogue.get_head().get_price():.2f}")
+
+    jp_product.set_price(9.80)  # concurrent: based on the old state
+    try:
+        VectorReplica(partner_jp).write_back(jp_product)
+    except ConsistencyError as error:
+        print("untracked write rejected:", type(error).__name__)
+    jp_vectors.write_back(jp_product)  # resolver merges: min(9.80, 9.50)
+    print(f"after conflict resolution, master price = {catalogue.get_head().get_price():.2f}")
+
+    # --- access control: the public price list is read-only ----------------
+    from repro.obiwan import AccessPolicy, SecurityError
+
+    public_list = Product(sku="PUBLIC-PRICES", price=1.0)
+    supplier.export_guarded(
+        public_list, AccessPolicy.read_only(), name="public-prices"
+    )
+    viewer = partner_jp.replicate("public-prices")
+    print(f"\npublic price list readable: {viewer.get_sku()} @ {viewer.get_price():.2f}")
+    viewer.set_price(0.01)
+    try:
+        partner_jp.put_back(viewer)
+    except SecurityError:
+        print("write-back to the public list denied (read-only export)")
+
+    # --- traffic summary --------------------------------------------------
+    stats = world.network.stats
+    print(
+        f"\ntotal traffic: {stats.total_messages} messages / {stats.total_bytes} bytes; "
+        f"simulated elapsed {world.clock.now():.3f} s"
+    )
+    print(
+        "bytes supplier<->partner.de:",
+        stats.bytes_between("acme.example", "partner.de"),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has no network access and no ``wheel`` package, so PEP 660
+editable installs fail; ``pip install -e . --no-use-pep517
+--no-build-isolation`` (or plain ``pip install -e .`` on a normal machine)
+uses this shim instead.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""Benchmark harness: regenerate every figure of the paper's evaluation.
+
+The paper's Section 4 contains three experiments plus two anchor
+measurements; each has a regenerator here (see DESIGN.md Section 4 for
+the experiment index):
+
+* **E1 / anchors** — LMI = 2 µs, RMI = 2.8 ms
+  (:func:`~repro.bench.figures.experiment_anchors`);
+* **E2 / Figure 4** — RMI vs LMI total cost against invocation count for
+  five object sizes (:func:`~repro.bench.figures.fig4_series`);
+* **E3 / Figure 5** — incremental replication of a 1000-object list,
+  per-object proxy pairs, six chunk sizes, three object sizes
+  (:func:`~repro.bench.figures.fig5_series`);
+* **E4 / Figure 6** — the same sweep with clustering
+  (:func:`~repro.bench.figures.fig6_series`).
+
+All runs use the loopback transport on simulated time with the
+calibrated cost model, so the output is deterministic.  The CLI prints
+paper-style tables and ASCII plots::
+
+    python -m repro.bench anchors
+    python -m repro.bench fig4
+    python -m repro.bench fig5
+    python -m repro.bench fig6
+    python -m repro.bench ablate-proxy | ablate-prefetch | ablate-consistency | ablate-transport
+    python -m repro.bench all
+"""
+
+from repro.bench.figures import (
+    experiment_anchors,
+    fig4_series,
+    fig5_series,
+    fig6_series,
+)
+from repro.bench.harness import (
+    FIG4_INVOCATIONS,
+    FIG4_SIZES,
+    FIG56_CHUNKS,
+    FIG56_LIST_LENGTH,
+    FIG56_SIZES,
+    Series,
+)
+from repro.bench.workloads import ListSpec, make_linked_list, make_tree
+
+__all__ = [
+    "experiment_anchors",
+    "fig4_series",
+    "fig5_series",
+    "fig6_series",
+    "Series",
+    "FIG4_SIZES",
+    "FIG4_INVOCATIONS",
+    "FIG56_SIZES",
+    "FIG56_CHUNKS",
+    "FIG56_LIST_LENGTH",
+    "ListSpec",
+    "make_linked_list",
+    "make_tree",
+]

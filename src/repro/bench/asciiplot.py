@@ -1,0 +1,77 @@
+"""ASCII rendering of benchmark output: tables and line plots.
+
+Good enough to eyeball the paper's figure shapes in a terminal or in
+``bench_output.txt`` — staircases, crossovers and curve spreads are all
+visible.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import Series
+
+
+def render_table(headers: list[str], rows: list[list[object]]) -> str:
+    """A boxless fixed-width table."""
+    columns = [headers] + [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(row[i])) for row in columns) for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(headers[i]).ljust(widths[i]) for i in range(len(headers))),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(row[i]).rjust(widths[i]) for i in range(len(headers)))
+        )
+    return "\n".join(lines)
+
+
+def render_plot(
+    series_list: list[Series],
+    *,
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "invocations",
+    y_label: str = "time (ms)",
+) -> str:
+    """Plot several curves on shared axes with one glyph per curve."""
+    glyphs = "*o+x#@%&"
+    xs = [x for s in series_list for x in s.xs]
+    ys = [y for s in series_list for y in s.ys_ms]
+    if not xs:
+        return "(no data)"
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = 0.0, max(ys) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, glyph: str) -> None:
+        col = 0 if x_max == x_min else int((x - x_min) / (x_max - x_min) * (width - 1))
+        row = height - 1 - int((y - y_min) / (y_max - y_min) * (height - 1))
+        grid[row][col] = glyph
+
+    for index, series in enumerate(series_list):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in series.points:
+            place(x, y, glyph)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label}  (top = {y_max:.1f} ms)")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:g} .. {x_max:g}")
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {s.label}" for i, s in enumerate(series_list)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,161 @@
+"""Figure regenerators and the paper's qualitative claims.
+
+Each ``figN_series`` function returns the curves of the corresponding
+paper figure, computed on simulated time.  The ``claims_*`` helpers
+extract the statements the paper draws from each figure so the benchmark
+tests can assert that our reproduction preserves them (shape fidelity,
+per DESIGN.md Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import (
+    FIG4_INVOCATIONS,
+    FIG4_SIZES,
+    FIG56_CHUNKS,
+    FIG56_LIST_LENGTH,
+    FIG56_SIZES,
+    Series,
+    fresh_world,
+    run_fig5_cell,
+    run_fig6_cell,
+    run_lmi_invocations,
+    run_rmi_invocations,
+)
+
+
+# ----------------------------------------------------------------------
+# E1: the anchor measurements of Section 4.1
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class AnchorResults:
+    """LMI / RMI single-invocation costs (paper: 2 µs and 2.8 ms)."""
+
+    lmi_seconds: float
+    rmi_seconds: float
+
+    @property
+    def lmi_microseconds(self) -> float:
+        return self.lmi_seconds * 1e6
+
+    @property
+    def rmi_milliseconds(self) -> float:
+        return self.rmi_seconds * 1e3
+
+
+def experiment_anchors() -> AnchorResults:
+    """Measure one LMI and one minimal RMI on simulated time."""
+    from repro.bench.workloads import PayloadNode
+
+    world, provider, consumer = fresh_world()
+    node = PayloadNode(index=1)
+    provider.export(node, name="anchor")
+
+    replica = consumer.replicate("anchor")
+    start = world.clock.now()
+    consumer.invoke_local(replica, "get_index")
+    lmi = world.clock.now() - start
+
+    stub = consumer.remote_stub("anchor")
+    start = world.clock.now()
+    stub.get_index()
+    rmi = world.clock.now() - start
+    return AnchorResults(lmi_seconds=lmi, rmi_seconds=rmi)
+
+
+# ----------------------------------------------------------------------
+# E2: Figure 4 — RMI vs LMI
+# ----------------------------------------------------------------------
+def fig4_series(
+    sizes: tuple[int, ...] = FIG4_SIZES,
+    invocations: tuple[int, ...] = FIG4_INVOCATIONS,
+) -> dict[str, Series]:
+    """All Figure 4 curves: one RMI curve plus one LMI curve per size.
+
+    The paper plots RMI once because "with RMI, the object size has no
+    influence on the invocations time".
+    """
+    max_n = max(invocations)
+    curves: dict[str, Series] = {}
+
+    rmi_full = run_rmi_invocations(sizes[0], max_n)
+    curves["RMI"] = _sample(rmi_full, invocations, label="RMI")
+
+    for size in sizes:
+        lmi_full = run_lmi_invocations(size, max_n)
+        curves[f"LMI {size}"] = _sample(lmi_full, invocations, label=f"LMI {size}")
+    return curves
+
+
+def crossover_invocations(curves: dict[str, Series], size: int) -> float | None:
+    """The smallest sampled invocation count where LMI beats RMI."""
+    rmi = curves["RMI"]
+    lmi = curves[f"LMI {size}"]
+    for x in rmi.xs:
+        if lmi.at(x) < rmi.at(x):
+            return x
+    return None
+
+
+# ----------------------------------------------------------------------
+# E3/E4: Figures 5 and 6
+# ----------------------------------------------------------------------
+def fig5_series(
+    sizes: tuple[int, ...] = FIG56_SIZES,
+    chunks: tuple[int, ...] = FIG56_CHUNKS,
+    length: int = FIG56_LIST_LENGTH,
+) -> dict[int, dict[int, Series]]:
+    """Figure 5: ``{object_size: {chunk: series}}``, per-object pairs."""
+    return {
+        size: {chunk: run_fig5_cell(size, chunk, length) for chunk in chunks}
+        for size in sizes
+    }
+
+
+def fig6_series(
+    sizes: tuple[int, ...] = FIG56_SIZES,
+    chunks: tuple[int, ...] = FIG56_CHUNKS,
+    length: int = FIG56_LIST_LENGTH,
+) -> dict[int, dict[int, Series]]:
+    """Figure 6: the same sweep, clustered (one proxy pair per fetch)."""
+    return {
+        size: {chunk: run_fig6_cell(size, chunk, length) for chunk in chunks}
+        for size in sizes
+    }
+
+
+def total_times_ms(panel: dict[int, Series]) -> dict[int, float]:
+    """Chunk → total traversal time (the curves' right-hand ends)."""
+    return {chunk: series.final_ms() for chunk, series in panel.items()}
+
+
+def spread_ratio(panel: dict[int, Series]) -> float:
+    """max/min total time across chunk sizes."""
+    totals = list(total_times_ms(panel).values())
+    return max(totals) / min(totals)
+
+
+def spread_absolute_ms(panel: dict[int, Series]) -> float:
+    """max - min total time across chunk sizes, in ms — Figure 6's
+    'the curves are closer' claim is about this visual distance."""
+    totals = list(total_times_ms(panel).values())
+    return max(totals) - min(totals)
+
+
+def staircase_step_count(series: Series, *, min_jump_ms: float) -> int:
+    """Number of visible steps (jumps ≥ ``min_jump_ms``) in a curve —
+    the paper: "the steps observed are due to the creation and
+    transference of replicas along with the proxy pairs"."""
+    ys = series.ys_ms
+    return sum(1 for a, b in zip(ys, ys[1:]) if b - a >= min_jump_ms)
+
+
+def _sample(full: Series, xs: tuple[int, ...], *, label: str) -> Series:
+    sampled = Series(label=label)
+    want = set(xs)
+    for x, y in full.points:
+        if x in want:
+            sampled.points.append((x, y))
+    return sampled

@@ -1,0 +1,174 @@
+"""The paper's Section 6 future-work studies, implemented.
+
+The conclusions promise two follow-up experiments the paper never ran:
+
+* **F1 — network conditions**: "We plan to test our prototype on
+  several info-appliances under different network conditions (wide-area
+  and wireless)."  :func:`network_conditions_study` reruns the list
+  workload of Figures 5/6 over the LAN, WAN, 802.11b and GPRS link
+  models and reports how the optimal fetch strategy moves.
+* **F2 — processor speed**: "We will study how the performance numbers
+  depend on the relative speed of the processors involved, for example,
+  between a hand-held PC such as Compaq iPaq, and a desktop PC."
+  :func:`cpu_speed_study` sweeps a CPU slowdown factor and reports how
+  the Figure 4 RMI/LMI crossover and the Figure 5 optimal chunk shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import run_list_traversal
+from repro.bench.workloads import ListSpec, PayloadNode, payload_for_size
+from repro.core.costs import CostModel
+from repro.core.interfaces import Cluster, Incremental
+from repro.core.runtime import World
+from repro.simnet.link import LAN_10MBPS, WAN, WIRELESS_GPRS, WIRELESS_WLAN, Link
+
+#: The link menu of the F1 study.
+NETWORKS: tuple[tuple[str, Link], ...] = (
+    ("lan-10mbps", LAN_10MBPS),
+    ("wlan-802.11b", WIRELESS_WLAN),
+    ("wan", WAN),
+    ("gprs", WIRELESS_GPRS),
+)
+
+
+# ----------------------------------------------------------------------
+# F1 — network conditions
+# ----------------------------------------------------------------------
+@dataclass
+class NetworkConditionRow:
+    network: str
+    chunk_totals_ms: dict[int, float]
+    cluster_totals_ms: dict[int, float]
+
+    @property
+    def best_chunk(self) -> int:
+        return min(self.chunk_totals_ms, key=self.chunk_totals_ms.get)
+
+    @property
+    def best_cluster(self) -> int:
+        return min(self.cluster_totals_ms, key=self.cluster_totals_ms.get)
+
+
+def network_conditions_study(
+    *,
+    length: int = 200,
+    object_size: int = 1024,
+    chunks: tuple[int, ...] = (1, 10, 50, 200),
+) -> list[NetworkConditionRow]:
+    """The Figure 5/6 workload across four link types.
+
+    Expected physics: as round trips get more expensive (GPRS's 0.5 s
+    latency vs the LAN's 1.35 ms), the optimal fetch size grows —
+    per-fetch overhead dominates, so fetch more per fault.
+    """
+    rows = []
+    for name, link in NETWORKS:
+        chunk_totals = {
+            chunk: run_list_traversal(
+                ListSpec(length, object_size), Incremental(chunk), link=link
+            ).final_ms()
+            for chunk in chunks
+        }
+        cluster_totals = {
+            chunk: run_list_traversal(
+                ListSpec(length, object_size), Cluster(size=chunk), link=link
+            ).final_ms()
+            for chunk in chunks
+        }
+        rows.append(NetworkConditionRow(name, chunk_totals, cluster_totals))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# F2 — processor speed
+# ----------------------------------------------------------------------
+@dataclass
+class CpuSpeedRow:
+    cpu_factor: float
+    rmi_vs_lmi_crossover: int | None
+    best_chunk: int
+    lmi_setup_ms: float
+
+
+def cpu_speed_study(
+    *,
+    factors: tuple[float, ...] = (1.0, 4.0, 8.0, 16.0),
+    object_size: int = 1024,
+    length: int = 200,
+    chunks: tuple[int, ...] = (1, 10, 50, 200),
+    invocations: tuple[int, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500),
+) -> list[CpuSpeedRow]:
+    """Figure 4's crossover and Figure 5's optimal chunk as the consumer
+    CPU slows down (desktop → hand-held).
+
+    Expected physics: replica creation is CPU work, so a slower device
+    needs more invocations before LMI amortizes — the crossover moves
+    right.  Serialization also slows, so big fetch bursts get relatively
+    worse.
+    """
+    rows = []
+    for factor in factors:
+        costs = CostModel.calibrated_2002().scaled(factor)
+        crossover = _crossover(object_size, invocations, costs)
+        chunk_totals = {
+            chunk: run_list_traversal(
+                ListSpec(length, object_size), Incremental(chunk), costs=costs
+            ).final_ms()
+            for chunk in chunks
+        }
+        best_chunk = min(chunk_totals, key=chunk_totals.get)
+        rows.append(
+            CpuSpeedRow(
+                cpu_factor=factor,
+                rmi_vs_lmi_crossover=crossover,
+                best_chunk=best_chunk,
+                lmi_setup_ms=_lmi_setup_ms(object_size, costs),
+            )
+        )
+    return rows
+
+
+def _two_site_world(costs: CostModel | None):
+    world = World.loopback(costs=costs)
+    provider = world.create_site("S2")
+    consumer = world.create_site("S1")
+    return world, provider, consumer
+
+
+def _crossover(
+    object_size: int, invocations: tuple[int, ...], costs: CostModel
+) -> int | None:
+    """Smallest sampled n where LMI (incl. setup) beats RMI."""
+    world, provider, consumer = _two_site_world(costs)
+    node = PayloadNode(index=1, payload=payload_for_size(object_size))
+    provider.export(node, name="obj")
+
+    start = world.clock.now()
+    replica = consumer.replicate("obj")
+    consumer.put_back(replica)
+    setup = world.clock.now() - start
+
+    # One RMI round trip, measured on the same world.
+    stub = consumer.remote_stub("obj")
+    start = world.clock.now()
+    stub.get_index()
+    rmi_each = world.clock.now() - start
+
+    for n in invocations:
+        if setup + n * costs.local_invoke_s < n * rmi_each:
+            return n
+    return None
+
+
+def _lmi_setup_ms(object_size: int, costs: CostModel) -> float:
+    world, provider, consumer = _two_site_world(costs)
+    provider.export(
+        PayloadNode(index=1, payload=payload_for_size(object_size)), name="obj"
+    )
+    start = world.clock.now()
+    replica = consumer.replicate("obj")
+    consumer.put_back(replica)
+    return (world.clock.now() - start) * 1e3

@@ -1,0 +1,172 @@
+"""Experiment harness: run one configuration, deterministically.
+
+Every run builds a fresh loopback world (simulated clock, calibrated
+costs, the paper's 10 Mb/s LAN link), executes the workload, and samples
+the simulated clock.  Results are plain data (:class:`Series`) so the
+figure modules, the CLI and the claim-checking benchmark tests all share
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.workloads import ListSpec, make_linked_list
+from repro.core.costs import CostModel
+from repro.core.interfaces import Cluster, Incremental, ReplicationMode
+from repro.core.proxy_out import ProxyOutBase
+from repro.core.runtime import Site, World
+from repro.simnet.link import LAN_10MBPS, Link
+
+# ----------------------------------------------------------------------
+# the paper's sweep parameters (OCR-reconstructed; see DESIGN.md)
+# ----------------------------------------------------------------------
+#: Figure 4 object sizes in bytes: 16 B … 64 KB.
+FIG4_SIZES = (16, 1024, 4096, 16384, 65536)
+#: Figure 4 invocation counts (x axis).
+FIG4_INVOCATIONS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000)
+#: Figures 5/6 object sizes: 64 B, 1 KB, 16 KB.
+FIG56_SIZES = (64, 1024, 16384)
+#: Figures 5/6 chunk / cluster sizes.
+FIG56_CHUNKS = (1, 10, 50, 100, 500, 1000)
+#: Figures 5/6 list length.
+FIG56_LIST_LENGTH = 1000
+
+
+@dataclass
+class Series:
+    """One plotted curve: a label and (x, milliseconds) points."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, seconds: float) -> None:
+        self.points.append((x, seconds * 1e3))
+
+    @property
+    def xs(self) -> list[float]:
+        return [x for x, _ in self.points]
+
+    @property
+    def ys_ms(self) -> list[float]:
+        return [y for _, y in self.points]
+
+    def final_ms(self) -> float:
+        return self.points[-1][1]
+
+    def at(self, x: float) -> float:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"series {self.label!r} has no point at x={x}")
+
+
+def fresh_world(
+    *,
+    link: Link = LAN_10MBPS,
+    costs: CostModel | None = None,
+) -> tuple[World, Site, Site]:
+    """A two-site loopback world: (world, provider S2, consumer S1)."""
+    world = World.loopback(link=link, costs=costs)
+    provider = world.create_site("S2")
+    consumer = world.create_site("S1")
+    return world, provider, consumer
+
+
+# ----------------------------------------------------------------------
+# experiment runners
+# ----------------------------------------------------------------------
+def run_rmi_invocations(size: int, invocations: int) -> Series:
+    """RMI side of Figure 4: ``n`` remote invocations on one object."""
+    from repro.bench.workloads import PayloadNode, payload_for_size
+
+    world, provider, consumer = fresh_world()
+    node = PayloadNode(index=7, payload=payload_for_size(size))
+    provider.export(node, name="object")
+    stub = consumer.remote_stub("object")
+
+    series = Series(label=f"RMI {size}B")
+    start = world.clock.now()
+    for count in range(1, invocations + 1):
+        stub.get_index()
+        series.add(count, world.clock.now() - start)
+    return series
+
+
+def run_lmi_invocations(size: int, invocations: int) -> Series:
+    """LMI side of Figure 4: replicate, invoke locally ``n`` times, put
+    back.  Following the paper, "the execution time of LMI includes the
+    cost due to the creation of the replica and to update it back in the
+    master site" — so every point includes both end costs.
+    """
+    from repro.bench.workloads import PayloadNode, payload_for_size
+
+    world, provider, consumer = fresh_world()
+    node = PayloadNode(index=7, payload=payload_for_size(size))
+    provider.export(node, name="object")
+
+    start = world.clock.now()
+    replica = consumer.replicate("object")
+    replicate_cost = world.clock.now() - start
+
+    # Measure the put-back cost once (state is unchanged by get_index, so
+    # one put is representative and keeps the sweep O(n) not O(n²)).
+    put_start = world.clock.now()
+    consumer.put_back(replica)
+    put_cost = world.clock.now() - put_start
+
+    series = Series(label=f"LMI {size}B")
+    invoke_start = world.clock.now()
+    for count in range(1, invocations + 1):
+        consumer.invoke_local(replica, "get_index")
+        elapsed = world.clock.now() - invoke_start
+        series.add(count, replicate_cost + elapsed + put_cost)
+    return series
+
+
+def run_list_traversal(
+    spec: ListSpec,
+    mode: ReplicationMode,
+    *,
+    link: Link = LAN_10MBPS,
+    costs: CostModel | None = None,
+) -> Series:
+    """Figures 5/6 inner loop: replicate the head under ``mode``, then
+    invoke one method per list element; faults auto-replicate the next
+    chunk/cluster.  Returns cumulative time after each invocation."""
+    world = World.loopback(link=link, costs=costs)
+    provider = world.create_site("S2")
+    consumer = world.create_site("S1")
+    head = make_linked_list(spec)
+    provider.export(head, name="list")
+
+    style = "cluster" if mode.clustered else "chunk"
+    series = Series(label=f"{style} {mode.chunk} ({spec.object_size}B)")
+
+    start = world.clock.now()
+    node: object = consumer.replicate("list", mode=mode)
+    invocations = 0
+    while node is not None:
+        consumer.invoke_local(node, "get_index")
+        invocations += 1
+        series.add(invocations, world.clock.now() - start)
+        if isinstance(node, ProxyOutBase):
+            node = node._obi_resolved
+        node = consumer.invoke_local(node, "get_next")
+        if isinstance(node, ProxyOutBase) and node._obi_resolved is not None:
+            node = node._obi_resolved
+    if invocations != spec.length:
+        raise AssertionError(
+            f"traversal covered {invocations} of {spec.length} objects"
+        )
+    return series
+
+
+def run_fig5_cell(size: int, chunk: int, length: int = FIG56_LIST_LENGTH) -> Series:
+    """One Figure 5 curve: per-object pairs."""
+    return run_list_traversal(ListSpec(length, size), Incremental(chunk))
+
+
+def run_fig6_cell(size: int, chunk: int, length: int = FIG56_LIST_LENGTH) -> Series:
+    """One Figure 6 curve: clustered."""
+    return run_list_traversal(ListSpec(length, size), Cluster(size=chunk))

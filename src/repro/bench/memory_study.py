@@ -1,0 +1,78 @@
+"""Memory-footprint study (the paper's info-appliance conclusion).
+
+Figure 5's last bullet: "for info-appliances with reduced amount of free
+memory, when only a part of the objects are effectively needed, it is
+clearly advantageous to incrementally replicate a small number of
+objects (but more than one each time)."
+
+This study makes the trade-off measurable: an application traverses only
+the first ``needed`` objects of a 1000-object list; per fetch size we
+report the replica memory the device ends up holding and the simulated
+time spent — small chunks hold memory close to what was needed, large
+chunks waste device memory on objects never touched, and chunk 1 pays
+the full per-fault latency bill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.workloads import ListSpec, make_linked_list
+from repro.core.interfaces import Incremental
+from repro.core.proxy_out import ProxyOutBase
+from repro.core.runtime import World
+
+
+@dataclass
+class MemoryStudyRow:
+    chunk: int
+    time_ms: float
+    memory_bytes: int
+    objects_held: int
+    objects_needed: int
+
+    @property
+    def overshoot(self) -> float:
+        """Replicated objects per object actually needed (1.0 = perfect)."""
+        return self.objects_held / self.objects_needed
+
+
+def memory_study(
+    *,
+    length: int = 1000,
+    needed: int = 100,
+    object_size: int = 1024,
+    chunks: tuple[int, ...] = (1, 10, 50, 100, 500, 1000),
+) -> list[MemoryStudyRow]:
+    """Partial traversal (``needed`` of ``length`` objects) per chunk."""
+    if needed > length:
+        raise ValueError("cannot need more objects than the list holds")
+    rows = []
+    for chunk in chunks:
+        world = World.loopback()
+        provider = world.create_site("S2")
+        consumer = world.create_site("S1")
+        provider.export(make_linked_list(ListSpec(length, object_size)), name="list")
+
+        start = world.clock.now()
+        node: object = consumer.replicate("list", mode=Incremental(chunk))
+        for _ in range(needed - 1):
+            consumer.invoke_local(node, "get_index")
+            node = consumer.invoke_local(node, "get_next")
+            if isinstance(node, ProxyOutBase) and node._obi_resolved is not None:
+                node = node._obi_resolved
+        consumer.invoke_local(node, "get_index")
+        elapsed = world.clock.now() - start
+
+        held = sum(1 for _ in consumer.iter_replicas())
+        rows.append(
+            MemoryStudyRow(
+                chunk=chunk,
+                time_ms=elapsed * 1e3,
+                memory_bytes=consumer.memory_footprint(),
+                objects_held=held,
+                objects_needed=needed,
+            )
+        )
+        world.close()
+    return rows

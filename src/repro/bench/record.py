@@ -1,0 +1,28 @@
+"""Result recording: persist benchmark output next to the repo.
+
+``python -m repro.bench all`` writes one JSON file per experiment under
+``results/`` so EXPERIMENTS.md numbers can be regenerated and diffed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Default output directory, resolved relative to the working directory.
+RESULTS_DIR = Path("results")
+
+
+def save_json(name: str, data: object, *, directory: Path | None = None) -> Path:
+    """Write ``data`` as ``<directory>/<name>.json``; returns the path."""
+    target_dir = directory if directory is not None else RESULTS_DIR
+    target_dir.mkdir(parents=True, exist_ok=True)
+    path = target_dir / f"{name}.json"
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+    return path
+
+
+def series_to_jsonable(series) -> dict:
+    """Flatten a :class:`~repro.bench.harness.Series` for JSON."""
+    return {"label": series.label, "points": series.points}

@@ -1,0 +1,168 @@
+"""Access-strategy study: when is which invocation mode the right call?
+
+The paper's thesis is that the *application* should choose, at run
+time, between remote invocation and replication — because neither
+dominates.  This study makes that quantitative on synthetic
+collaborative sessions: a workspace of documents, a session of skewed
+reads/writes, and three strategies an application could adopt:
+
+* ``rmi-only`` — every operation is a remote invocation;
+* ``replicate-on-use`` — replicate a document on first touch, work
+  locally, push writes immediately;
+* ``hoard-all`` — replicate the whole workspace up front, work locally,
+  push writes immediately.
+
+With skewed access (a Zipf-ish distribution), short sessions favour
+RMI, long sessions favour replication, and hoard-all only pays off when
+the session actually touches most of the workspace — the crossovers the
+paper argues applications must be free to pick per situation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.bench.workloads import PayloadNode, payload_for_size
+from repro.core.runtime import World
+from repro.simnet.link import LAN_10MBPS, Link
+
+
+@dataclass(frozen=True, slots=True)
+class SessionSpec:
+    """A synthetic collaborative session."""
+
+    documents: int = 40
+    operations: int = 200
+    write_ratio: float = 0.2
+    document_size: int = 2048
+    #: Zipf-like skew: probability mass concentrates on few documents.
+    skew: float = 1.2
+    seed: int = 7
+
+
+@dataclass
+class StrategyResult:
+    strategy: str
+    simulated_ms: float
+    network_bytes: int
+    documents_touched: int
+    documents_moved: int
+
+
+def generate_session(spec: SessionSpec) -> list[tuple[int, str]]:
+    """(document index, 'read' | 'write') per operation, deterministic."""
+    rng = random.Random(spec.seed)
+    weights = [1.0 / (rank + 1) ** spec.skew for rank in range(spec.documents)]
+    ops = []
+    for _ in range(spec.operations):
+        doc = rng.choices(range(spec.documents), weights=weights)[0]
+        kind = "write" if rng.random() < spec.write_ratio else "read"
+        ops.append((doc, kind))
+    return ops
+
+
+def _workspace(spec: SessionSpec, link: Link) -> tuple[World, object, object]:
+    world = World.loopback(link=link)
+    server = world.create_site("server")
+    client = world.create_site("client")
+    payload = payload_for_size(spec.document_size)
+    for index in range(spec.documents):
+        server.export(PayloadNode(index=index, payload=payload), name=f"doc:{index}")
+    return world, server, client
+
+
+def run_strategy(
+    strategy: str, spec: SessionSpec, *, link: Link = LAN_10MBPS
+) -> StrategyResult:
+    """Replay the session under one strategy; returns cost and coverage."""
+    ops = generate_session(spec)
+    world, _server, client = _workspace(spec, link)
+    stats = world.network.stats
+    touched: set[int] = set()
+    moved: set[int] = set()
+    start = world.clock.now()
+    bytes_before = stats.total_bytes
+
+    if strategy == "rmi-only":
+        stubs: dict[int, object] = {}
+        for doc, kind in ops:
+            touched.add(doc)
+            stub = stubs.get(doc)
+            if stub is None:
+                stub = client.remote_stub(f"doc:{doc}")
+                stubs[doc] = stub
+            if kind == "read":
+                stub.get_index()
+            else:
+                stub.set_payload(b"w" * 32)
+
+    elif strategy == "replicate-on-use":
+        replicas: dict[int, object] = {}
+        for doc, kind in ops:
+            touched.add(doc)
+            replica = replicas.get(doc)
+            if replica is None:
+                replica = client.replicate(f"doc:{doc}")
+                replicas[doc] = replica
+                moved.add(doc)
+            if kind == "read":
+                client.invoke_local(replica, "get_index")
+            else:
+                client.invoke_local(replica, "set_payload", b"w" * 32)
+                client.put_back(replica)
+
+    elif strategy == "hoard-all":
+        replicas = {
+            index: client.replicate(f"doc:{index}") for index in range(spec.documents)
+        }
+        moved.update(replicas)
+        for doc, kind in ops:
+            touched.add(doc)
+            replica = replicas[doc]
+            if kind == "read":
+                client.invoke_local(replica, "get_index")
+            else:
+                client.invoke_local(replica, "set_payload", b"w" * 32)
+                client.put_back(replica)
+
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    result = StrategyResult(
+        strategy=strategy,
+        simulated_ms=(world.clock.now() - start) * 1e3,
+        network_bytes=stats.total_bytes - bytes_before,
+        documents_touched=len(touched),
+        documents_moved=len(moved),
+    )
+    world.close()
+    return result
+
+
+STRATEGIES = ("rmi-only", "replicate-on-use", "hoard-all")
+
+
+def strategy_study(spec: SessionSpec | None = None) -> list[StrategyResult]:
+    """All strategies on one session spec."""
+    spec = spec if spec is not None else SessionSpec()
+    return [run_strategy(name, spec) for name in STRATEGIES]
+
+
+def session_length_sweep(
+    lengths: tuple[int, ...] = (5, 20, 100, 500), base: SessionSpec | None = None
+) -> dict[int, list[StrategyResult]]:
+    """How the winner changes with session length."""
+    base = base if base is not None else SessionSpec()
+    sweep = {}
+    for length in lengths:
+        spec = SessionSpec(
+            documents=base.documents,
+            operations=length,
+            write_ratio=base.write_ratio,
+            document_size=base.document_size,
+            skew=base.skew,
+            seed=base.seed,
+        )
+        sweep[length] = strategy_study(spec)
+    return sweep

@@ -1,0 +1,43 @@
+"""The consistency-protocol library.
+
+The paper deliberately leaves replica consistency to the programmer:
+"he may simply use a library of specific consistency protocols written by
+any other programmer.  We plan to develop such libraries for well known
+consistency policies."  This package is that library.
+
+Each protocol builds on the core ``get``/``put``/version machinery and
+never changes it — exactly the hook-based design the paper describes:
+
+=====================  ====================================================
+:mod:`~repro.consistency.manual`        the paper's default: explicit pull/push
+:mod:`~repro.consistency.lww`           last-writer-wins timestamped puts
+:mod:`~repro.consistency.vector`        version vectors with conflict detection
+:mod:`~repro.consistency.invalidation`  master-pushed invalidation callbacks
+:mod:`~repro.consistency.lease`         time-bounded staleness (leases)
+:mod:`~repro.consistency.epidemic`      update dissemination to subscribers
+=====================  ====================================================
+"""
+
+from repro.consistency.base import ConsistencyProtocol, ReadPolicy
+from repro.consistency.epidemic import UpdateDisseminator, UpdateSubscriber
+from repro.consistency.invalidation import InvalidationConsumer, InvalidationMaster
+from repro.consistency.lease import LeaseConsistency
+from repro.consistency.lww import LwwCoordinator, LwwReplica
+from repro.consistency.manual import ManualConsistency
+from repro.consistency.vector import VersionVector, VectorCoordinator, VectorReplica
+
+__all__ = [
+    "ConsistencyProtocol",
+    "ReadPolicy",
+    "ManualConsistency",
+    "LwwCoordinator",
+    "LwwReplica",
+    "VersionVector",
+    "VectorCoordinator",
+    "VectorReplica",
+    "InvalidationMaster",
+    "InvalidationConsumer",
+    "LeaseConsistency",
+    "UpdateDisseminator",
+    "UpdateSubscriber",
+]

@@ -1,0 +1,47 @@
+"""Common vocabulary for consistency protocols."""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime import Site
+
+
+class ReadPolicy(enum.Enum):
+    """What a consumer-side protocol does when a replica is unusable
+    (invalidated, lease expired, known stale)."""
+
+    #: Transparently refresh from the master, then serve the read.
+    REFRESH = "refresh"
+    #: Raise :class:`~repro.util.errors.StaleReplicaError` and let the
+    #: application decide (the mobile fallback path often *wants* stale).
+    RAISE = "raise"
+    #: Serve the stale value silently (availability over freshness).
+    SERVE_STALE = "serve-stale"
+
+
+class ConsistencyProtocol(ABC):
+    """A consumer-side protocol attached to one site.
+
+    Concrete protocols expose richer APIs; this base class fixes the two
+    verbs every one of them shares so applications can swap protocols
+    without changing call sites.
+    """
+
+    def __init__(self, site: "Site"):
+        self.site = site
+
+    @abstractmethod
+    def read(self, replica: object) -> object:
+        """Return a replica that is fit to read under this protocol."""
+
+    @abstractmethod
+    def write_back(self, replica: object) -> object:
+        """Propagate a replica's local modifications under this protocol."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__

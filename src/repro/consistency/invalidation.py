@@ -1,0 +1,144 @@
+"""Invalidation-based consistency.
+
+The master keeps a registry of which sites hold replicas of each object.
+When a put is applied, the master pushes one-way *invalidate* messages to
+every other holder; their replicas are marked stale, and the next
+protocol-mediated read either refreshes transparently, raises, or serves
+stale — per the consumer's :class:`~repro.consistency.base.ReadPolicy`.
+
+This is the callback scheme of client-server object caches (Thor's
+lineage, which the paper discusses as related work) expressed over
+OBIWAN's proxy-in/put machinery.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.consistency.base import ConsistencyProtocol, ReadPolicy
+from repro.core.meta import obi_id_of
+from repro.rmi.refs import RemoteRef
+from repro.util.errors import ConsistencyError, StaleReplicaError, TransportError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime import Site
+
+INVALIDATION_MASTER_METHODS = ("subscribe", "unsubscribe", "holders_of")
+INVALIDATION_CONSUMER_METHODS = ("invalidate",)
+
+
+class InvalidationMaster:
+    """Master-side holder registry and invalidation fan-out."""
+
+    def __init__(self, site: "Site"):
+        self._site = site
+        #: oid → {site_id → consumer listener ref}
+        self._holders: dict[str, dict[str, RemoteRef]] = {}
+        site.events.subscribe("put_applied", self._on_put_applied)
+
+    # ------------------------------------------------------------------
+    # remote surface (called by consumers)
+    # ------------------------------------------------------------------
+    def subscribe(self, oid: str, listener: RemoteRef) -> None:
+        """Register a consumer's listener for invalidations of ``oid``."""
+        self._holders.setdefault(oid, {})[listener.site_id] = listener
+
+    def unsubscribe(self, oid: str, site_id: str) -> None:
+        self._holders.get(oid, {}).pop(site_id, None)
+
+    def holders_of(self, oid: str) -> list[str]:
+        return sorted(self._holders.get(oid, {}))
+
+    # ------------------------------------------------------------------
+    # fan-out
+    # ------------------------------------------------------------------
+    def _on_put_applied(self, *, site: "Site", oid: str, version: int) -> None:
+        for listener in list(self._holders.get(oid, {}).values()):
+            try:
+                self._site.endpoint.invoke_oneway(listener, "invalidate", (oid, version))
+            except TransportError:
+                # A disconnected holder keeps its stale replica; it will
+                # discover the staleness when it reconnects and reads.
+                continue
+
+    @classmethod
+    def export_on(cls, site: "Site", *, name: str = "invalidation-master") -> "InvalidationMaster":
+        master = cls(site)
+        ref = site.endpoint.export(master, interface="IInvalidationMaster")
+        site.naming.rebind(name, ref)
+        return master
+
+
+class InvalidationConsumer(ConsistencyProtocol):
+    """Consumer side: receives invalidations, polices reads."""
+
+    def __init__(
+        self,
+        site: "Site",
+        master_ref: RemoteRef | str = "invalidation-master",
+        *,
+        policy: ReadPolicy = ReadPolicy.REFRESH,
+    ):
+        super().__init__(site)
+        self.policy = policy
+        if isinstance(master_ref, str):
+            master_ref = site.naming.lookup(master_ref)
+        self._master = site.endpoint.stub(master_ref, INVALIDATION_MASTER_METHODS)
+        self._listener_ref = site.endpoint.export(self, interface="IInvalidationListener")
+        self._invalidated_versions: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # remote surface (called by the master, one-way)
+    # ------------------------------------------------------------------
+    def invalidate(self, oid: str, version: int) -> None:
+        record = self.site.replica_info(oid)
+        if record is not None:
+            record.invalidated = True
+        self._invalidated_versions[oid] = version
+
+    # ------------------------------------------------------------------
+    # protocol surface
+    # ------------------------------------------------------------------
+    def track(self, replica: object) -> object:
+        """Subscribe this site to invalidations for ``replica``."""
+        self._master.subscribe(obi_id_of(replica), self._listener_ref)
+        return replica
+
+    def read(self, replica: object) -> object:
+        oid = obi_id_of(replica)
+        record = self.site.replica_info(oid)
+        if record is None or not record.invalidated:
+            return replica
+        if self.policy is ReadPolicy.SERVE_STALE:
+            return replica
+        if self.policy is ReadPolicy.RAISE:
+            raise StaleReplicaError(
+                f"replica {oid!r} was invalidated at master version "
+                f"{self._invalidated_versions.get(oid)}"
+            )
+        refreshed = self.site.refresh(replica)
+        record.invalidated = False
+        return refreshed
+
+    def write_back(self, replica: object) -> object:
+        version = self.site.put_back(replica)
+        record = self.site.replica_info(obi_id_of(replica))
+        if record is not None:
+            # Our own write produced this master version; the echo of our
+            # own invalidation (if any raced in) is obsolete.
+            record.invalidated = False
+            record.version = version
+        return replica
+
+    def is_stale(self, replica: object) -> bool:
+        record = self.site.replica_info(obi_id_of(replica))
+        return bool(record and record.invalidated)
+
+
+def require_fresh(consumer: InvalidationConsumer, replica: object) -> object:
+    """Read with a one-off RAISE policy regardless of the configured one."""
+    if consumer.is_stale(replica):
+        raise ConsistencyError(
+            f"replica {obi_id_of(replica)!r} is stale and freshness was required"
+        )
+    return replica

@@ -1,0 +1,88 @@
+"""Lease-based consistency: time-bounded staleness.
+
+Each protocol-mediated fetch grants the replica a lease of ``duration``
+seconds on the site clock.  Reads within the lease are served locally at
+LMI speed; a read after expiry renews (refreshes) or raises, per policy.
+Leases need no master cooperation at all — the cheapest freshness bound
+available to a mobile consumer, and the natural fit for the paper's
+variable-quality-of-service scenario: lengthen the lease when the link
+gets expensive, shorten it when it is cheap.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.consistency.base import ConsistencyProtocol, ReadPolicy
+from repro.core.meta import obi_id_of
+from repro.util.errors import StaleReplicaError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime import Site
+
+
+class LeaseConsistency(ConsistencyProtocol):
+    """Consumer-side leases on replicas."""
+
+    def __init__(
+        self,
+        site: "Site",
+        *,
+        duration: float,
+        policy: ReadPolicy = ReadPolicy.REFRESH,
+    ):
+        super().__init__(site)
+        if duration <= 0:
+            raise ValueError("lease duration must be positive")
+        self.duration = duration
+        self.policy = policy
+
+    # ------------------------------------------------------------------
+    # protocol surface
+    # ------------------------------------------------------------------
+    def track(self, replica: object) -> object:
+        """Grant the initial lease (call right after replicating)."""
+        self._grant(replica)
+        return replica
+
+    def read(self, replica: object) -> object:
+        record = self.site.replica_info(obi_id_of(replica))
+        if record is None:
+            return replica
+        expires = record.lease_expires_at
+        if expires is None:
+            # Never leased: treat as expired so the first protocol read
+            # establishes a lease.
+            expires = float("-inf")
+        if self.site.clock.now() <= expires:
+            return replica
+        if self.policy is ReadPolicy.SERVE_STALE:
+            return replica
+        if self.policy is ReadPolicy.RAISE:
+            raise StaleReplicaError(
+                f"lease on replica {obi_id_of(replica)!r} expired at t={expires:.6f}"
+            )
+        refreshed = self.site.refresh(replica)
+        self._grant(refreshed)
+        return refreshed
+
+    def write_back(self, replica: object) -> object:
+        self.site.put_back(replica)
+        self._grant(replica)  # our write is trivially fresh
+        return replica
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def remaining(self, replica: object) -> float:
+        """Seconds of lease left (negative when expired, -inf if never
+        leased)."""
+        record = self.site.replica_info(obi_id_of(replica))
+        if record is None or record.lease_expires_at is None:
+            return float("-inf")
+        return record.lease_expires_at - self.site.clock.now()
+
+    def _grant(self, replica: object) -> None:
+        record = self.site.replica_info(obi_id_of(replica))
+        if record is not None:
+            record.lease_expires_at = self.site.clock.now() + self.duration

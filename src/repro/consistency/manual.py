@@ -1,0 +1,36 @@
+"""Manual consistency — the paper's default regime.
+
+"We leave the responsibility of maintaining (or not) the consistency of
+replicas to the programmer": a replica is refreshed when the application
+calls :meth:`pull` and the master is updated when it calls :meth:`push`.
+This thin protocol exists so applications written against the
+:class:`~repro.consistency.base.ConsistencyProtocol` surface can start
+with the paper's semantics and swap in a stronger policy later.
+"""
+
+from __future__ import annotations
+
+from repro.consistency.base import ConsistencyProtocol
+
+
+class ManualConsistency(ConsistencyProtocol):
+    """Explicit ``get``/``put``, nothing implicit."""
+
+    def read(self, replica: object) -> object:
+        """Reads always serve the local replica, however stale."""
+        return replica
+
+    def write_back(self, replica: object) -> object:
+        """Writes reach the master only on explicit push."""
+        return replica
+
+    # ------------------------------------------------------------------
+    # the explicit verbs
+    # ------------------------------------------------------------------
+    def pull(self, replica: object) -> object:
+        """Refresh the replica from its master (the paper's ``get``)."""
+        return self.site.refresh(replica)
+
+    def push(self, replica: object) -> int:
+        """Update the master from the replica (the paper's ``put``)."""
+        return self.site.put_back(replica)

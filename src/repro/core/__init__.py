@@ -1,0 +1,52 @@
+"""The core OBIWAN platform — the paper's primary contribution.
+
+This package implements Section 2 of the paper:
+
+* **proxy-out / proxy-in pairs** (:mod:`repro.core.proxy_out`,
+  :mod:`repro.core.proxy_in`) — the stand-ins that make an absent object
+  invocable and a present master remotely reachable;
+* **object-fault detection and resolution** (:mod:`repro.core.faults`) —
+  any interface method called on a proxy-out demands the target replica,
+  splices it into the demander (``updateMember``) and forwards the call;
+* **incremental / transitive / cluster replication**
+  (:mod:`repro.core.replication`, :mod:`repro.core.cluster`) — ``get(mode)``
+  with run-time-chosen granularity;
+* **the obicomp compiler** (:mod:`repro.core.obicomp`) — derives interfaces
+  from user classes and synthesizes their proxy classes;
+* **the site runtime** (:mod:`repro.core.runtime`) — the per-process
+  replica/master tables and the public :class:`Site` / :class:`World` API.
+"""
+
+from repro.core.costs import CostModel
+from repro.core.gc_stats import GcStats
+from repro.core.interfaces import (
+    Cluster,
+    Incremental,
+    Interface,
+    ReplicationMode,
+    Transitive,
+)
+from repro.core.meta import compiled_registry, interface_of, is_obiwan, obi_id_of
+from repro.core.obicomp import compile_class
+from repro.core.proxy_in import ProxyIn
+from repro.core.proxy_out import ProxyOutBase
+from repro.core.runtime import Site, World
+
+__all__ = [
+    "World",
+    "Site",
+    "compile_class",
+    "Interface",
+    "ReplicationMode",
+    "Incremental",
+    "Transitive",
+    "Cluster",
+    "ProxyIn",
+    "ProxyOutBase",
+    "CostModel",
+    "GcStats",
+    "is_obiwan",
+    "obi_id_of",
+    "interface_of",
+    "compiled_registry",
+]

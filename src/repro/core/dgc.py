@@ -1,0 +1,200 @@
+"""Lease-based distributed garbage collection for proxies-in.
+
+The Java prototype gets this for free: ``UnicastRemoteObject`` exports
+are tracked by RMI's DGC, which holds a *lease* per client and unexports
+the object when every lease expires.  Without it, every ``get`` would
+leak a proxy-in at the provider forever.  This module reproduces that
+substrate:
+
+* a :class:`DgcServer` at a provider tracks, per exported proxy-in,
+  which consumer sites hold references and until when;
+* a :class:`DgcClient` at a consumer periodically renews (``dirty``) the
+  leases for every provider reference it still holds — replicas and
+  pending proxy-outs — and releases (``clean``) what it drops;
+* :meth:`DgcServer.collect` unexports proxy-ins whose leases have all
+  expired (disconnection makes renewal impossible, so a long-offline
+  consumer's references lapse — the correct mobile-world behaviour).
+
+Both halves are opt-in: attach them to the sites that want reclamation.
+Name-published objects should be pinned (:meth:`DgcServer.pin`), as Java
+registries pin their bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.meta import obi_id_of
+from repro.core.proxy_out import ProxyOutBase
+from repro.rmi.refs import RemoteRef
+from repro.util.errors import TransportError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime import Site
+
+#: Well-known export id of a site's DGC endpoint.
+DGC_OBJECT_ID = "obj:dgc"
+DGC_METHODS = ("dirty", "clean")
+
+#: Default lease duration, seconds (Java's ``java.rmi.dgc.leaseValue``
+#: defaults to 10 minutes; mobile scenarios want shorter).
+DEFAULT_LEASE = 600.0
+
+
+@dataclass
+class DgcReport:
+    """Outcome of one :meth:`DgcServer.collect` pass."""
+
+    reclaimed: list[str]
+    live: int
+    pinned: int
+
+
+class DgcServer:
+    """Provider-side lease table."""
+
+    def __init__(self, site: "Site", *, lease_duration: float = DEFAULT_LEASE,
+                 grace_period: float | None = None):
+        if lease_duration <= 0:
+            raise ValueError("lease duration must be positive")
+        self.site = site
+        self.lease_duration = lease_duration
+        #: Fresh exports are immune for one lease duration by default —
+        #: the first consumer has not had a chance to register yet.
+        self.grace_period = grace_period if grace_period is not None else lease_duration
+        #: oid → {holder site id → lease expiry (site-clock seconds)}
+        self._leases: dict[str, dict[str, float]] = {}
+        self._exported_at: dict[str, float] = {}
+        self._pinned: set[str] = set()
+        site.endpoint.export(self, object_id=DGC_OBJECT_ID, interface="IDgc")
+        site.events.subscribe("provider_exported", self._on_provider_exported)
+        # Providers exported before the server attached still get graced.
+        for oid in list(getattr(site, "_provider_refs", {})):
+            self._exported_at.setdefault(oid, site.clock.now())
+
+    # ------------------------------------------------------------------
+    # remote surface (called by DgcClient)
+    # ------------------------------------------------------------------
+    def dirty(self, oids: list[str], holder_site: str) -> float:
+        """Renew ``holder_site``'s lease on each oid; returns the granted
+        duration so clients know when to renew next."""
+        expiry = self.site.clock.now() + self.lease_duration
+        for oid in oids:
+            self._leases.setdefault(oid, {})[holder_site] = expiry
+        return self.lease_duration
+
+    def clean(self, oids: list[str], holder_site: str) -> None:
+        """Drop ``holder_site``'s lease on each oid (explicit release)."""
+        for oid in oids:
+            self._leases.get(oid, {}).pop(holder_site, None)
+
+    # ------------------------------------------------------------------
+    # local surface
+    # ------------------------------------------------------------------
+    def pin(self, obj: object) -> None:
+        """Exempt an object from collection (e.g. name-server bindings)."""
+        self._pinned.add(obi_id_of(obj))
+
+    def unpin(self, obj: object) -> None:
+        self._pinned.discard(obi_id_of(obj))
+
+    def holders_of(self, obj: object) -> list[str]:
+        """Sites currently holding a live lease on ``obj``."""
+        now = self.site.clock.now()
+        leases = self._leases.get(obi_id_of(obj), {})
+        return sorted(site for site, expiry in leases.items() if expiry > now)
+
+    def collect(self) -> DgcReport:
+        """Unexport every proxy-in whose leases have all lapsed."""
+        now = self.site.clock.now()
+        reclaimed: list[str] = []
+        live = 0
+        for oid in list(self._exported_at):
+            if oid in self._pinned:
+                continue
+            if now < self._exported_at[oid] + self.grace_period:
+                live += 1
+                continue
+            leases = self._leases.get(oid, {})
+            if any(expiry > now for expiry in leases.values()):
+                live += 1
+                continue
+            if self.site.retract_provider(oid):
+                reclaimed.append(oid)
+            self._exported_at.pop(oid, None)
+            self._leases.pop(oid, None)
+        return DgcReport(reclaimed=reclaimed, live=live, pinned=len(self._pinned))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _on_provider_exported(self, *, site: "Site", oid: str, ref: RemoteRef) -> None:
+        self._exported_at[oid] = site.clock.now()
+
+
+class DgcClient:
+    """Consumer-side lease renewal."""
+
+    def __init__(self, site: "Site"):
+        self.site = site
+
+    # ------------------------------------------------------------------
+    # what this site still references remotely
+    # ------------------------------------------------------------------
+    def held_references(self) -> dict[str, set[str]]:
+        """provider site id → oids this site must keep leased."""
+        held: dict[str, set[str]] = {}
+        for record in self.site.iter_replicas():
+            if record.provider is not None:
+                held.setdefault(record.provider.site_id, set()).add(
+                    obi_id_of(record.obj)
+                )
+        for proxy in self._pending_proxies():
+            held.setdefault(proxy._obi_provider.site_id, set()).add(
+                proxy._obi_target_id
+            )
+        return held
+
+    def _pending_proxies(self) -> list[ProxyOutBase]:
+        pending = getattr(self.site, "_pending_proxies", None)
+        if pending is None:
+            return []
+        return [proxy for proxy in pending.values() if proxy._obi_resolved is None]
+
+    # ------------------------------------------------------------------
+    # the protocol
+    # ------------------------------------------------------------------
+    def renew(self) -> dict[str, int]:
+        """Send ``dirty`` to every provider; returns oids renewed per site.
+
+        Unreachable providers are skipped — an offline consumer simply
+        lets its leases lapse, which is the design: the provider reclaims
+        and the consumer refetches after reconnecting.
+        """
+        renewed: dict[str, int] = {}
+        for provider_site, oids in self.held_references().items():
+            ref = RemoteRef(site_id=provider_site, object_id=DGC_OBJECT_ID, interface="IDgc")
+            try:
+                self.site.endpoint.invoke(
+                    ref, "dirty", (sorted(oids), self.site.name)
+                )
+            except TransportError:
+                continue
+            renewed[provider_site] = len(oids)
+        return renewed
+
+    def release(self, replica: object) -> None:
+        """Evict a replica and clean its lease at the provider."""
+        oid = obi_id_of(replica)
+        record = self.site.replica_info(oid)
+        self.site.evict(replica)
+        if record is None or record.provider is None:
+            return
+        ref = RemoteRef(
+            site_id=record.provider.site_id, object_id=DGC_OBJECT_ID, interface="IDgc"
+        )
+        try:
+            self.site.endpoint.invoke(ref, "clean", ([oid], self.site.name))
+        except TransportError:
+            pass  # the lease will lapse on its own

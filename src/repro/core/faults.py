@@ -1,0 +1,66 @@
+"""Object-fault resolution (paper Section 2.2, steps 1–6 of ``demand``).
+
+When an interface method is invoked on an unresolved proxy-out:
+
+1. the proxy's provider (the target's proxy-in) is asked to ``demand`` a
+   package — replicating "the next *k* objects" under the proxy's mode;
+2. the package is integrated locally;
+3. every demander that was holding the proxy-out has the fresh replica
+   spliced in (``updateMember``) — after which "further invocations …
+   will be normal direct invocations with no indirection at all";
+4. the proxy-out records its resolution so aliased references still
+   forward correctly, and is handed to GC accounting: once application
+   references drop, the ordinary garbage collector reclaims it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core import graphwalk
+from repro.core.proxy_out import ProxyOutBase
+from repro.core.replication import integrate_package
+from repro.util.errors import DisconnectedError, ObjectFaultError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.runtime import Site
+
+
+def resolve_fault(site: "Site", proxy: ProxyOutBase) -> object:
+    """Resolve ``proxy`` to a local replica, splicing all demanders."""
+    if proxy._obi_resolved is not None:
+        return proxy._obi_resolved
+
+    # Another path may already have replicated the target (e.g. a wider
+    # cluster fetched it): short-circuit without touching the network.
+    local = site.local_object_for(proxy._obi_target_id)
+    if local is None:
+        try:
+            package = site.endpoint.invoke(
+                proxy._obi_provider, "demand", (proxy._obi_mode,)
+            )
+        except DisconnectedError:
+            raise  # the mobility layer reacts to disconnections specifically
+        except ObjectFaultError:
+            raise
+        local = integrate_package(site, package)
+        if local is None:
+            raise ObjectFaultError(
+                f"demand for {proxy._obi_target_id!r} returned no replica"
+            )
+
+    splice(proxy, local)
+    site.finish_fault(proxy, local)
+    return local
+
+
+def splice(proxy: ProxyOutBase, replica: object) -> int:
+    """The paper's ``updateMember``: replace the proxy-out with the
+    replica in every demander; returns the number of rewritten positions."""
+    replacements = {id(proxy): replica}
+    rewritten = 0
+    for holder in proxy._obi_demanders:
+        rewritten += graphwalk.replace_references(holder, replacements)
+    proxy._obi_resolved = replica
+    proxy._obi_demanders.clear()
+    return rewritten

@@ -1,0 +1,105 @@
+"""Reachability-based collection of master records.
+
+The lease DGC (:mod:`repro.core.dgc`) reclaims *proxies-in* when no
+remote site references them; this module reclaims the *master records*
+themselves.  A master record stays live iff it is reachable from a root:
+
+* an explicitly pinned object (typically everything name-published);
+* a master some remote site still leases (when a
+  :class:`~repro.core.dgc.DgcServer` is attached);
+* any replica this site holds (its fields may point at local masters);
+* anything transitively reachable from the above through OBIWAN
+  references.
+
+This is the site-local slice of the OBIWAN authors' follow-up work on
+distributed garbage collection for replicated objects (the TPDS'03
+platform paper): acyclic cross-site garbage falls to the lease
+mechanism, local reachability falls to this collector, and the
+application's pins anchor the roots.
+
+Dropping a master only forgets middleware bookkeeping — the Python
+object survives as plain state if the application still holds it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core import graphwalk
+from repro.core.meta import obi_id_of
+from repro.core.proxy_out import ProxyOutBase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.dgc import DgcServer
+    from repro.core.runtime import Site
+
+
+@dataclass
+class MasterCollectionReport:
+    reclaimed: list[str]
+    live: int
+    roots: int
+
+
+class MasterCollector:
+    """Mark-and-forget over one site's master table."""
+
+    def __init__(self, site: "Site", dgc: "DgcServer | None" = None):
+        self.site = site
+        self.dgc = dgc
+        self._pinned: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # roots
+    # ------------------------------------------------------------------
+    def pin(self, obj: object) -> None:
+        """Anchor an object (and everything it reaches) as live."""
+        self._pinned[obi_id_of(obj)] = obj
+
+    def unpin(self, obj: object) -> None:
+        self._pinned.pop(obi_id_of(obj), None)
+
+    def _roots(self) -> list[object]:
+        roots: list[object] = list(self._pinned.values())
+        roots.extend(record.obj for record in self.site.iter_replicas())
+        if self.dgc is not None:
+            for oid, record in self.site.iter_masters():
+                if self.dgc.holders_of(record.obj):
+                    roots.append(record.obj)
+        return roots
+
+    # ------------------------------------------------------------------
+    # collection
+    # ------------------------------------------------------------------
+    def live_oids(self) -> set[str]:
+        """The oids reachable from the current roots."""
+        live: set[str] = set()
+        stack = self._roots()
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ProxyOutBase):
+                if node._obi_resolved is not None:
+                    stack.append(node._obi_resolved)
+                continue  # unresolved: its referent lives elsewhere
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            live.add(obi_id_of(node))
+            stack.extend(graphwalk.direct_references(node))
+        return live
+
+    def collect(self) -> MasterCollectionReport:
+        """Drop every master record not reachable from a root."""
+        roots = self._roots()
+        live = self.live_oids()
+        reclaimed: list[str] = []
+        kept = 0
+        for oid, _record in self.site.iter_masters():
+            if oid in live:
+                kept += 1
+                continue
+            if self.site.drop_master(oid):
+                reclaimed.append(oid)
+        return MasterCollectionReport(reclaimed=sorted(reclaimed), live=kept, roots=len(roots))

@@ -1,0 +1,34 @@
+"""obicomp — the OBIWAN class compiler (paper Section 3).
+
+From a user class ``A`` the Java obicomp derives interface ``IA``,
+generates ``AProxyOut`` / ``AProxyIn`` and augments ``A`` with the
+replication interfaces, "so the programmer only has to worry about the
+business logic".  Here the same pipeline runs reflectively at import
+time::
+
+    @obiwan.compile
+    class Agenda:
+        def add_entry(self, entry): ...
+
+:func:`compile_class` performs the augmentation in memory;
+:mod:`repro.core.obicomp.emit` additionally writes the generated classes
+out as Python source, mirroring the paper's source-augmentation tooling;
+:mod:`repro.core.obicomp.porting` ports legacy (non-distributed) classes
+and RMI-style classes onto OBIWAN, as described in paper Section 3.2.
+"""
+
+from repro.core.obicomp.compiler import compile_class
+from repro.core.obicomp.emit import emit_module, emit_package, emit_proxy_source
+from repro.core.obicomp.interface import derive_interface
+from repro.core.obicomp.porting import port_legacy_class, port_module, port_rmi_class
+
+__all__ = [
+    "compile_class",
+    "derive_interface",
+    "port_legacy_class",
+    "port_rmi_class",
+    "port_module",
+    "emit_module",
+    "emit_proxy_source",
+    "emit_package",
+]

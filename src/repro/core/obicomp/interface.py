@@ -1,0 +1,51 @@
+"""Interface derivation.
+
+The paper: "from every existing class A, an interface representing its
+public methods can be automatically derived".  We collect the public
+plain methods along the MRO in definition order.
+
+Properties are rejected with a clear error: a property on a replicated
+class would invite direct state access through a proxy-out, which OBIWAN
+forbids (Section 2.1's method-only restriction).
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.core.interfaces import Interface
+from repro.util.errors import ReplicationError
+
+
+def derive_interface(cls: type, name: str | None = None) -> Interface:
+    """Build the :class:`Interface` of ``cls`` from its public methods."""
+    if not inspect.isclass(cls):
+        raise ReplicationError(f"obicomp can only compile classes, got {cls!r}")
+
+    methods: list[str] = []
+    seen: set[str] = set()
+    for klass in reversed(cls.__mro__):
+        if klass is object:
+            continue
+        for attr_name, attr in vars(klass).items():
+            if attr_name.startswith("_") or attr_name in seen:
+                continue
+            if isinstance(attr, property):
+                raise ReplicationError(
+                    f"class {cls.__name__} exposes property {attr_name!r}; OBIWAN "
+                    "objects are manipulated only through methods — wrap it in "
+                    "explicit getter/setter methods"
+                )
+            if isinstance(attr, staticmethod | classmethod):
+                # Not part of the instance interface; they need no proxying.
+                continue
+            if callable(attr):
+                methods.append(attr_name)
+                seen.add(attr_name)
+    if not methods:
+        raise ReplicationError(
+            f"class {cls.__name__} has no public methods; an OBIWAN interface "
+            "cannot be empty"
+        )
+    interface_name = name if name is not None else f"I{cls.__name__}"
+    return Interface(name=interface_name, methods=tuple(methods))

@@ -1,0 +1,144 @@
+"""Porting existing applications onto OBIWAN (paper Section 3.2).
+
+Two entry points:
+
+* :func:`port_legacy_class` — for applications "written with no
+  distribution in mind": derive the interface and compile, leaving the
+  class's business logic untouched.  A strictness check flags patterns
+  that would break behind proxies (``__slots__``, properties).
+* :func:`port_rmi_class` — for applications already structured the
+  typical RMI way (an implementation class whose public surface mixes
+  business methods with RMI plumbing): obicomp "strips the application
+  classes of explicit RMI references and then deals with them as if they
+  were developed without remoteness in mind".  We build a clean local
+  class whose interface excludes the plumbing methods, then compile it.
+"""
+
+from __future__ import annotations
+
+from repro.core.obicomp.compiler import compile_class
+from repro.util.errors import ReplicationError
+
+#: Method names that are RMI plumbing rather than business logic in a
+#: typical stub-era implementation class (the analogue of stripping
+#: ``java.rmi`` remote-awareness).
+DEFAULT_RMI_PLUMBING = frozenset(
+    {
+        "get",
+        "put",
+        "demand",
+        "get_version",
+        "remote_ref",
+        "export",
+        "unexport",
+        "bind",
+        "rebind",
+        "unbind",
+        "lookup",
+    }
+)
+
+
+def port_legacy_class(cls: type, *, interface_name: str | None = None) -> type:
+    """Port a non-distributed class: compile it as-is.
+
+    The paper's step "references to instances of other classes must be
+    changed to reference the corresponding interfaces" is a no-op in
+    Python — attribute references are late-bound, so a proxy-out can
+    stand in for an instance by duck typing.
+    """
+    return compile_class(cls, interface_name=interface_name)
+
+
+def port_module(module, *, skip: frozenset[str] = frozenset()) -> list[type]:
+    """Port every eligible class defined in ``module``.
+
+    The batch equivalent of running obicomp over a whole code base
+    (the paper's planned byte-code pass over application jars): each
+    class defined in the module (not merely imported into it) that has
+    at least one public method and no ``__slots__`` is compiled.
+    Classes named in ``skip``, already-compiled classes, and classes
+    with no public methods are left alone.  Returns the classes ported.
+    """
+    import inspect
+
+    from repro.core.meta import is_compiled_class
+
+    ported: list[type] = []
+    for name, cls in vars(module).items():
+        if not inspect.isclass(cls) or cls.__module__ != module.__name__:
+            continue
+        if name in skip or is_compiled_class(cls):
+            continue
+        if any("__slots__" in vars(klass) for klass in cls.__mro__ if klass is not object):
+            continue
+        has_public_method = any(
+            not attr_name.startswith("_") and callable(attr)
+            and not isinstance(attr, (staticmethod, classmethod))
+            for klass in cls.__mro__
+            if klass is not object
+            for attr_name, attr in vars(klass).items()
+        )
+        if not has_public_method:
+            continue
+        ported.append(compile_class(cls))
+    return ported
+
+
+def port_rmi_class(
+    impl_cls: type,
+    *,
+    strip_suffix: str = "RemoteImpl",
+    plumbing: frozenset[str] = DEFAULT_RMI_PLUMBING,
+    interface_name: str | None = None,
+) -> type:
+    """Port an RMI-style implementation class onto OBIWAN.
+
+    Builds a local class named without ``strip_suffix`` (``FooRemoteImpl``
+    → ``Foo``) whose public interface excludes RMI ``plumbing`` method
+    names, then compiles it.  The returned class subclasses ``impl_cls``
+    so the business logic is inherited unchanged.
+    """
+    base_name = impl_cls.__name__
+    local_name = (
+        base_name[: -len(strip_suffix)] if base_name.endswith(strip_suffix) else base_name
+    )
+    if not local_name:
+        raise ReplicationError(
+            f"cannot derive a local class name from {base_name!r} with "
+            f"suffix {strip_suffix!r}"
+        )
+
+    business_methods = [
+        name
+        for klass in reversed(impl_cls.__mro__)
+        if klass is not object
+        for name, attr in vars(klass).items()
+        if not name.startswith("_") and callable(attr) and name not in plumbing
+    ]
+    if not business_methods:
+        raise ReplicationError(
+            f"{base_name} has no business methods left after stripping RMI plumbing"
+        )
+
+    # Shadow the plumbing names so the derived interface omits them: the
+    # local class exposes business logic only.
+    namespace: dict[str, object] = {
+        "__doc__": f"OBIWAN port of RMI class {base_name} (plumbing stripped).",
+        "__module__": impl_cls.__module__,
+    }
+    local_cls = type(local_name, (impl_cls,), namespace)
+    iface_name = interface_name if interface_name is not None else f"I{local_name}"
+    methods = tuple(dict.fromkeys(business_methods))
+
+    from repro.core.interfaces import Interface
+    from repro.core.meta import OBI_INTERFACE_ATTR, CompiledEntry, compiled_registry
+    from repro.core.proxy_out import make_proxy_out_class
+    from repro.serial.registry import global_registry
+
+    interface = Interface(name=iface_name, methods=methods)
+    proxy_out_cls = make_proxy_out_class(interface)
+    setattr(local_cls, OBI_INTERFACE_ATTR, interface)
+    global_registry.register(local_cls)
+    compiled_registry.add(CompiledEntry(local_cls, interface, proxy_out_cls))
+    return local_cls

@@ -1,0 +1,106 @@
+"""Wire packages exchanged by the replication protocol.
+
+A :class:`ReplicaPackage` is what ``get``/``demand`` returns: a serialized
+object-graph payload plus per-object metadata (version, provider
+reference, cluster membership).  A :class:`PutPackage` carries replica
+state back to masters.
+
+Graph payloads are pre-serialized into ``bytes`` by the replication engine
+with a context-specific swizzler, so packages travel through the ordinary
+RMI codec without any endpoint-level hooks, and their exact wire size is
+available to the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.interfaces import ReplicationMode
+from repro.rmi.refs import RemoteRef
+from repro.serial.registry import global_registry
+
+
+@dataclass(slots=True)
+class ObjectMeta:
+    """Per-object replication metadata inside a :class:`ReplicaPackage`."""
+
+    obi_id: str = ""
+    interface: str = ""
+    version: int = 1
+    #: RemoteRef of the object's own proxy-in — present in per-object-pair
+    #: mode so the replica can be individually put/refreshed; ``None`` for
+    #: cluster members (paper: "each object can not be individually
+    #: updated").
+    provider: RemoteRef | None = None
+    #: obi id of the cluster root when this object travelled as a cluster
+    #: member; ``None`` otherwise.
+    cluster_root: str | None = None
+
+    def __getstate__(self) -> object:
+        return (self.obi_id, self.interface, self.version, self.provider, self.cluster_root)
+
+    def __setstate__(self, state: object) -> None:
+        (self.obi_id, self.interface, self.version, self.provider, self.cluster_root) = state  # type: ignore[misc]
+
+
+@dataclass(slots=True)
+class ReplicaPackage:
+    """The provider's answer to ``get(mode)``."""
+
+    root_id: str = ""
+    payload: bytes = b""
+    meta: dict[str, ObjectMeta] = field(default_factory=dict)
+    mode: ReplicationMode = field(default_factory=ReplicationMode)
+    #: How many proxy pairs the provider created while building this
+    #: package (frontier pairs plus, in per-object mode, member pairs) —
+    #: reported so benchmarks can assert the paper's pair-count claims.
+    pairs_created: int = 0
+
+    def __getstate__(self) -> object:
+        return (self.root_id, self.payload, self.meta, self.mode, self.pairs_created)
+
+    def __setstate__(self, state: object) -> None:
+        (self.root_id, self.payload, self.meta, self.mode, self.pairs_created) = state  # type: ignore[misc]
+
+    @property
+    def object_count(self) -> int:
+        return len(self.meta)
+
+
+@dataclass(slots=True)
+class PutEntry:
+    """One object's state travelling back to its master."""
+
+    obi_id: str = ""
+    payload: bytes = b""
+    #: Master version the consumer last saw — consistency protocols use it
+    #: for staleness/conflict detection; the core ignores it.
+    version_seen: int = 0
+
+    def __getstate__(self) -> object:
+        return (self.obi_id, self.payload, self.version_seen)
+
+    def __setstate__(self, state: object) -> None:
+        self.obi_id, self.payload, self.version_seen = state  # type: ignore[misc]
+
+
+@dataclass(slots=True)
+class PutPackage:
+    """The consumer's ``put``: one entry per object being written back."""
+
+    entries: list[PutEntry] = field(default_factory=list)
+
+    def __getstate__(self) -> object:
+        return self.entries
+
+    def __setstate__(self, state: object) -> None:
+        self.entries = state  # type: ignore[assignment]
+
+
+for _pkg_cls, _wire_name in (
+    (ObjectMeta, "core.ObjectMeta"),
+    (ReplicaPackage, "core.ReplicaPackage"),
+    (PutEntry, "core.PutEntry"),
+    (PutPackage, "core.PutPackage"),
+):
+    global_registry.register(_pkg_cls, name=_wire_name)

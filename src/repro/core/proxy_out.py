@@ -1,0 +1,154 @@
+"""Proxies-out: the consumer-side stand-ins that detect object faults.
+
+A proxy-out "stands in for an object that is not yet locally replicated"
+(paper Section 2).  It implements the target's derived interface; every
+interface method triggers the object-fault protocol of Section 2.2:
+
+1. ``demand()`` the target from the provider (its proxy-in);
+2. splice the fresh replica into every demander that was holding this
+   proxy-out (``updateMember``);
+3. forward the original invocation to the replica;
+4. become garbage — "from this moment on, BProxyOut is no longer reachable
+   and will be reclaimed by the garbage collector".
+
+Non-interface attribute access raises
+:class:`~repro.util.errors.EncapsulationError`: objects behind proxies can
+only be manipulated through methods, the restriction the paper shares
+with ActiveX components and Java Beans.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+from repro.core.interfaces import Interface, ReplicationMode
+from repro.rmi.refs import RemoteRef
+from repro.util.errors import EncapsulationError, ObjectFaultError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.runtime import Site
+
+#: Attributes a proxy-out may hold; everything else is an encapsulation
+#: violation by application code.
+_INTERNAL_ATTRS = frozenset(
+    {
+        "_obi_site",
+        "_obi_target_id",
+        "_obi_provider",
+        "_obi_interface",
+        "_obi_mode",
+        "_obi_demanders",
+        "_obi_resolved",
+    }
+)
+
+
+class ProxyOutBase:
+    """Common machinery of all generated proxy-out classes."""
+
+    #: Marker consulted by ``isinstance``-free call sites.
+    _obi_is_proxy_out = True
+
+    def __init__(
+        self,
+        site: "Site",
+        target_id: str,
+        provider: RemoteRef,
+        interface: Interface,
+        mode: ReplicationMode,
+    ):
+        object.__setattr__(self, "_obi_site", site)
+        object.__setattr__(self, "_obi_target_id", target_id)
+        object.__setattr__(self, "_obi_provider", provider)
+        object.__setattr__(self, "_obi_interface", interface)
+        object.__setattr__(self, "_obi_mode", mode)
+        #: Objects currently holding a reference to this proxy-out; the
+        #: fault resolver splices the replica into each of them.
+        object.__setattr__(self, "_obi_demanders", [])
+        #: The target replica once resolved (``setProvider``/``demand``
+        #: bookkeeping collapses to this single field).
+        object.__setattr__(self, "_obi_resolved", None)
+
+    # ------------------------------------------------------------------
+    # demander bookkeeping (the paper's setDemander)
+    # ------------------------------------------------------------------
+    def _obi_add_demander(self, holder: object) -> None:
+        demanders = self._obi_demanders
+        if not any(existing is holder for existing in demanders):
+            demanders.append(holder)
+
+    # ------------------------------------------------------------------
+    # the object fault
+    # ------------------------------------------------------------------
+    def _obi_fault(self, method: str, args: tuple, kwargs: dict) -> object:
+        """Resolve the fault (if still unresolved) and forward the call."""
+        target = self._obi_resolved
+        if target is None:
+            site = self._obi_site
+            if site is None:
+                raise ObjectFaultError(
+                    f"proxy-out for {self._obi_target_id!r} is not attached to a site"
+                )
+            target = site.resolve_fault(self)
+        return getattr(target, method)(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # encapsulation enforcement
+    # ------------------------------------------------------------------
+    def __getattr__(self, name: str) -> object:
+        # Only reached for attributes not found normally — i.e. state the
+        # application tried to touch directly.
+        if name.startswith("__") and name.endswith("__"):
+            # Keep Python protocols (copy, pickle, inspect) on the normal
+            # AttributeError path instead of masking them.
+            raise AttributeError(name)
+        raise EncapsulationError(
+            f"direct access to attribute {name!r} on a proxy-out for interface "
+            f"{object.__getattribute__(self, '_obi_interface').name!r}; objects behind "
+            "OBIWAN proxies can only be manipulated through interface methods"
+        )
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if name in _INTERNAL_ATTRS:
+            object.__setattr__(self, name, value)
+            return
+        raise EncapsulationError(
+            f"cannot set attribute {name!r} on a proxy-out; replicate the target first"
+        )
+
+    def __repr__(self) -> str:
+        state = "resolved" if self._obi_resolved is not None else "unresolved"
+        return (
+            f"<{type(self).__name__} target={self._obi_target_id} "
+            f"provider={self._obi_provider} {state}>"
+        )
+
+
+def _make_faulting_method(name: str) -> Callable:
+    def method(self: ProxyOutBase, *args: object, **kwargs: object) -> object:
+        return self._obi_fault(name, args, kwargs)
+
+    method.__name__ = name
+    method.__qualname__ = f"ProxyOut.{name}"
+    method.__doc__ = (
+        f"Fault-detecting stand-in for {name!r}: replicates the target on "
+        "first use, then forwards."
+    )
+    return method
+
+
+def make_proxy_out_class(interface: Interface) -> type[ProxyOutBase]:
+    """Synthesize the proxy-out class for ``interface``.
+
+    The Java prototype generates ``AProxyOut`` source with obicomp; we
+    synthesize the class directly.  Every interface method faults.
+    """
+    namespace: dict[str, object] = {
+        name: _make_faulting_method(name) for name in interface.methods
+    }
+    namespace["__doc__"] = (
+        f"Generated proxy-out for interface {interface.name!r}. "
+        "Invoking any interface method resolves the object fault."
+    )
+    return type(f"{interface.name.lstrip('I')}ProxyOut", (ProxyOutBase,), namespace)

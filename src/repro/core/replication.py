@@ -1,0 +1,301 @@
+"""The incremental replication engine (paper Section 2.2).
+
+Provider side — :func:`build_package` is the generalized ``A.get``:
+
+1. collect the replication set by bounded BFS from the fetch root
+   (``mode.chunk`` objects / ``mode.depth`` levels; unbounded = the
+   paper's transitive closure);
+2. for every member (per-object-pair mode) ensure a proxy-in exists so
+   the consumer can individually ``put``/refresh it — in clustered mode
+   only the root has one;
+3. serialize the members by value; every reference leaving the set is
+   swizzled into a proxy-out descriptor carrying the frontier object's
+   proxy-in reference (steps 2–6 of the paper's ``get``);
+4. return a :class:`~repro.core.packages.ReplicaPackage` with per-object
+   metadata (version, provider, cluster membership).
+
+Consumer side — :func:`integrate_package`:
+
+1. decode the payload; proxy-out descriptors materialize as generated
+   proxy-out instances — or short-circuit to already-local replicas;
+2. objects that already have a local replica are updated *in place* so
+   every existing alias observes the refresh;
+3. every unresolved proxy-out records the objects holding it as
+   demanders (the paper's ``setDemander``), enabling ``updateMember``
+   splicing when the fault fires.
+
+Write-back — :func:`build_put` / :func:`apply_put` implement ``put``:
+replica state travels with OBIWAN references flattened to logical ids;
+the master site re-links them to its own objects and adopts any
+consumer-created objects that arrive by value.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core import graphwalk
+from repro.core.interfaces import ReplicationMode
+from repro.core.meta import interface_of, is_obiwan, obi_id_of
+from repro.core.packages import ObjectMeta, PutEntry, PutPackage, ReplicaPackage
+from repro.core.proxy_out import ProxyOutBase
+from repro.rmi.refs import RemoteRef
+from repro.serial.decoder import Decoder
+from repro.serial.encoder import Encoder
+from repro.serial.swizzle import SwizzleDescriptor
+from repro.util.errors import ReplicationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.runtime import Site
+
+#: Swizzle kind for references leaving the replication set.
+PROXY_OUT_KIND = "obiwan.proxy-out"
+
+
+# ----------------------------------------------------------------------
+# provider side
+# ----------------------------------------------------------------------
+class PackagingSwizzler:
+    """Encoder hook used while building a replica package."""
+
+    def __init__(self, site: "Site", member_ids: set[int]):
+        self._site = site
+        self._member_ids = member_ids
+        self.pairs_created = 0
+
+    def swizzle(self, value: object) -> SwizzleDescriptor | None:
+        if isinstance(value, ProxyOutBase):
+            # A frontier reference that is itself still a fault at the
+            # provider (chained replication): forward its provider.
+            return SwizzleDescriptor(
+                PROXY_OUT_KIND,
+                (value._obi_target_id, value._obi_interface.name, value._obi_provider),
+            )
+        if is_obiwan(value) and id(value) not in self._member_ids:
+            ref, created = self._site.ensure_provider_for(value)
+            if created:
+                self.pairs_created += 1
+            return SwizzleDescriptor(
+                PROXY_OUT_KIND, (obi_id_of(value), interface_of(value).name, ref)
+            )
+        return None
+
+    def unswizzle(self, descriptor: SwizzleDescriptor) -> object:  # pragma: no cover
+        raise ReplicationError("packaging swizzler cannot decode")
+
+
+def build_package(site: "Site", root: object, mode: ReplicationMode) -> ReplicaPackage:
+    """Provider-side ``get(mode)``: package ``root``'s partial graph."""
+    members = graphwalk.breadth_first(
+        root, max_objects=mode.chunk, max_depth=mode.depth
+    )
+    if not members:
+        raise ReplicationError("replication root resolves to no object")
+    root = members[0]
+    _normalize_resolved_proxies(members)
+
+    root_id = obi_id_of(root)
+    member_ids = {id(m) for m in members}
+    pairs_created = 0
+    meta: dict[str, ObjectMeta] = {}
+    for member in members:
+        oid = obi_id_of(member)
+        provider_ref: RemoteRef | None = None
+        cluster_root: str | None = None
+        if mode.clustered and member is not root:
+            cluster_root = root_id
+            site.note_master(member)
+        else:
+            provider_ref, created = site.ensure_provider_for(member)
+            if created:
+                pairs_created += 1
+        meta[oid] = ObjectMeta(
+            obi_id=oid,
+            interface=interface_of(member).name,
+            version=site.version_of(member),
+            provider=provider_ref,
+            cluster_root=cluster_root,
+        )
+
+    swizzler = PackagingSwizzler(site, member_ids)
+    payload = Encoder(site.registry, swizzler).encode(root)
+    pairs_created += swizzler.pairs_created
+
+    site.charge_serialization(len(payload))
+    site.charge_pairs(pairs_created)
+    site.charge_pair_batch(pairs_created)
+    return ReplicaPackage(
+        root_id=root_id,
+        payload=payload,
+        meta=meta,
+        mode=mode,
+        pairs_created=pairs_created,
+    )
+
+
+def _normalize_resolved_proxies(members: list[object]) -> None:
+    """Replace already-resolved proxy-outs in member state by their targets.
+
+    Keeps the encoder from ever meeting a resolved proxy: after this pass
+    every proxy-out in member state is a genuine frontier fault.
+    """
+    replacements: dict[int, object] = {}
+    for member in members:
+        for ref in graphwalk.direct_references(member):
+            if isinstance(ref, ProxyOutBase) and ref._obi_resolved is not None:
+                replacements[id(ref)] = ref._obi_resolved
+    if replacements:
+        for member in members:
+            graphwalk.replace_references(member, replacements)
+
+
+# ----------------------------------------------------------------------
+# consumer side
+# ----------------------------------------------------------------------
+class SiteUnswizzler:
+    """Decoder hook: materialize proxy-outs, re-link by-id references."""
+
+    def __init__(self, site: "Site", mode: ReplicationMode):
+        self._site = site
+        self._mode = mode
+
+    def unswizzle(self, descriptor: SwizzleDescriptor) -> object:
+        if descriptor.kind == PROXY_OUT_KIND:
+            target_id, interface_name, provider = descriptor.data  # type: ignore[misc]
+            local = self._site.local_node_for(target_id)
+            if local is not None:
+                return local
+            return self._site.make_proxy_out(target_id, interface_name, provider, self._mode)
+        raise ReplicationError(f"unknown swizzle kind {descriptor.kind!r}")
+
+    def swizzle(self, value: object) -> SwizzleDescriptor | None:  # pragma: no cover
+        raise ReplicationError("site unswizzler cannot encode")
+
+
+def integrate_package(site: "Site", package: ReplicaPackage) -> object:
+    """Consumer-side materialization of a replica package.
+
+    Returns the canonical local object for the package root — a fresh
+    replica, or the pre-existing one updated in place.
+    """
+    site.charge_serialization(len(package.payload))
+    site.charge_replicas(package.object_count)
+
+    decoder = Decoder(site.registry, SiteUnswizzler(site, package.mode))
+    decoded_root = decoder.decode(package.payload)
+
+    arrivals = _collect_arrivals(decoded_root, package)
+
+    # Map freshly decoded copies onto pre-existing local objects.
+    replacements: dict[int, object] = {}
+    canonical: dict[str, object] = {}
+    for oid, fresh in arrivals.items():
+        existing = site.local_object_for(oid)
+        if existing is None or existing is fresh:
+            canonical[oid] = fresh
+            continue
+        canonical[oid] = existing
+        replacements[id(fresh)] = existing
+        if not site.is_master(oid):
+            # Refresh in place so every alias of the old replica sees the
+            # new state; masters keep their own (authoritative) state.
+            vars(existing).clear()
+            vars(existing).update(vars(fresh))
+
+    if replacements:
+        for obj in canonical.values():
+            graphwalk.replace_references(obj, replacements)
+
+    for oid, obj in canonical.items():
+        entry = package.meta[oid]
+        if not site.is_master(oid):
+            site.register_replica(obj, entry, package.mode)
+        for ref in graphwalk.direct_references(obj):
+            if isinstance(ref, ProxyOutBase) and ref._obi_resolved is None:
+                ref._obi_add_demander(obj)
+
+    root = canonical.get(package.root_id)
+    if root is None:
+        raise ReplicationError(
+            f"package root {package.root_id!r} missing from decoded graph"
+        )
+    return root
+
+
+def _collect_arrivals(decoded_root: object, package: ReplicaPackage) -> dict[str, object]:
+    """Walk the decoded graph and index package objects by logical id."""
+    arrivals: dict[str, object] = {}
+    stack = [decoded_root]
+    seen: set[int] = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen or isinstance(node, ProxyOutBase) or not is_obiwan(node):
+            continue
+        seen.add(id(node))
+        oid = obi_id_of(node)
+        if oid not in package.meta:
+            continue  # an already-local object spliced in by the unswizzler
+        if oid not in arrivals:
+            arrivals[oid] = node
+        stack.extend(graphwalk.direct_references(node))
+    missing = set(package.meta) - set(arrivals)
+    if missing:
+        raise ReplicationError(
+            f"package advertised objects that never arrived: {sorted(missing)}"
+        )
+    return arrivals
+
+
+# ----------------------------------------------------------------------
+# write-back (put)
+# ----------------------------------------------------------------------
+def build_put(site: "Site", replicas: list[object]) -> PutPackage:
+    """Build the ``put`` package for one or more local replicas.
+
+    Each entry carries one object's own state.  Every OBIWAN reference in
+    that state — to another replica, to a proxy-out, even to an object the
+    consumer created locally — travels as a proxy-out descriptor naming a
+    provider: the destination re-links references it can resolve locally
+    and keeps proxy-outs for the rest.  A consumer-created object thus
+    stays mastered at the consumer ("objects can be replicated freely
+    among sites").
+    """
+    entries: list[PutEntry] = []
+    total_bytes = 0
+    for replica in replicas:
+        oid = obi_id_of(replica)
+        info = site.replica_info(oid)
+        state = dict(vars(replica))
+        swizzler = PackagingSwizzler(site, member_ids=set())
+        payload = Encoder(site.registry, swizzler).encode(state)
+        site.charge_pairs(swizzler.pairs_created)
+        total_bytes += len(payload)
+        entries.append(
+            PutEntry(obi_id=oid, payload=payload, version_seen=info.version if info else 0)
+        )
+    site.charge_serialization(total_bytes)
+    return PutPackage(entries=entries)
+
+
+def apply_put(site: "Site", package: PutPackage) -> dict[str, int]:
+    """Master-side ``put``: apply replica states; returns new versions."""
+    versions: dict[str, int] = {}
+    for entry in package.entries:
+        site.charge_serialization(len(entry.payload))
+        master = site.master_object_for(entry.obi_id)
+        if master is None:
+            raise ReplicationError(
+                f"put targets object {entry.obi_id!r} which is not mastered at "
+                f"site {site.name!r}"
+            )
+        decoder = Decoder(site.registry, SiteUnswizzler(site, ReplicationMode()))
+        state = decoder.decode(entry.payload)
+        if not isinstance(state, dict):
+            raise ReplicationError("put payload must decode to a state dict")
+        preserved_id = vars(master).get("_obi_id")
+        vars(master).clear()
+        vars(master).update(state)
+        if preserved_id is not None:
+            vars(master)["_obi_id"] = preserved_id
+        versions[entry.obi_id] = site.bump_master_version(entry.obi_id)
+    return versions

@@ -1,0 +1,585 @@
+"""The OBIWAN runtime: sites and worlds.
+
+A :class:`Site` models one OBIWAN process (the paper's S1/S2): it owns the
+master and replica tables, the exported proxy-ins, the pending proxy-outs
+and the cost accounting.  A :class:`World` wires sites to a network and a
+name server and is the entry point of the public API::
+
+    world = World.loopback()
+    provider = world.create_site("S2")
+    consumer = world.create_site("S1")
+
+    ref = provider.export(master, name="a")
+    replica = consumer.replicate("a", mode=Incremental(10))   # LMI path
+    stub = consumer.remote_stub("a")                          # RMI path
+
+The choice between ``replicate`` (local method invocation on a replica)
+and ``remote_stub`` (remote method invocation on the master) is the
+run-time decision the paper puts in the application's hands.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass, field
+
+from repro.core import cluster as cluster_ops
+from repro.core import faults
+from repro.core.costs import CostModel
+from repro.core.gc_stats import GcStats
+from repro.core.interfaces import Incremental, ReplicationMode
+from repro.core.meta import (
+    compiled_registry,
+    interface_of,
+    is_obiwan,
+    obi_id_of,
+)
+from repro.core.packages import ObjectMeta
+from repro.core.proxy_in import ProxyIn
+from repro.core.proxy_out import ProxyOutBase
+from repro.core.replication import build_put, integrate_package
+from repro.rmi.endpoint import RmiEndpoint
+from repro.rmi.refs import RemoteRef
+from repro.rmi.stub import Stub
+from repro.simnet.link import LAN_10MBPS, Link
+from repro.simnet.loopback import LoopbackNetwork
+from repro.simnet.network import Network
+from repro.simnet.tcp import TcpNetwork
+from repro.simnet.threaded import ThreadedNetwork
+from repro.util.clock import Clock, SimClock, WallClock
+from repro.util.errors import ClusterError, ReplicationError
+from repro.util.events import EventBus
+from repro.util.ids import new_site_id
+
+
+@dataclass
+class MasterRecord:
+    """Bookkeeping for one object mastered at this site."""
+
+    obj: object
+    version: int = 1
+
+
+@dataclass
+class ReplicaRecord:
+    """Bookkeeping for one replica held at this site."""
+
+    obj: object
+    provider: RemoteRef | None
+    version: int
+    mode: ReplicationMode
+    cluster_root: str | None = None
+    #: Set by the consistency layer (invalidation/lease protocols).
+    invalidated: bool = field(default=False)
+    lease_expires_at: float | None = field(default=None)
+
+
+class Site:
+    """One OBIWAN process: masters, replicas, proxies, costs."""
+
+    def __init__(self, world: "World", name: str, endpoint: RmiEndpoint):
+        self.world = world
+        self.name = name
+        self.endpoint = endpoint
+        self.costs: CostModel = world.costs
+        self.gc_stats = GcStats()
+        #: Local pub/sub used by the consistency and mobility layers.
+        #: Topics: ``replica_registered``, ``replica_refreshed``,
+        #: ``put_applied``, ``fault_resolved``.
+        self.events = EventBus()
+        #: Guards the object tables: provider-side dispatcher threads and
+        #: application threads touch them concurrently on the threaded and
+        #: TCP transports.  Re-entrant because engine paths nest (e.g.
+        #: build_package -> ensure_provider_for).
+        self._lock = threading.RLock()
+        self._masters: dict[str, MasterRecord] = {}
+        self._replicas: dict[str, ReplicaRecord] = {}
+        self._provider_refs: dict[str, RemoteRef] = {}
+        self._pending_proxies: "weakref.WeakValueDictionary[str, ProxyOutBase]" = (
+            weakref.WeakValueDictionary()
+        )
+
+    # ------------------------------------------------------------------
+    # public API: provider role
+    # ------------------------------------------------------------------
+    def export(self, obj: object, *, name: str | None = None) -> RemoteRef:
+        """Make ``obj`` available to other sites; optionally bind a name.
+
+        The object becomes a *master* here; its proxy-in is exported
+        through RMI and, when ``name`` is given, registered in the name
+        server (the paper's "only AProxyIn is registered in a name
+        server").
+        """
+        ref, _created = self.ensure_provider_for(obj)
+        if name is not None:
+            self.naming.rebind(name, ref)
+        return ref
+
+    def export_guarded(self, obj: object, policy, *, name: str | None = None) -> RemoteRef:
+        """Export ``obj`` behind an access policy (see ``repro.rmi.acl``).
+
+        Remote calls — including the replication protocol's ``get`` /
+        ``put`` / ``demand`` — are checked against ``policy`` with the
+        caller's site identity; local use of the object is unrestricted.
+        Must be called before any unguarded export of the same object.
+        """
+        from repro.rmi.acl import AccessGuard
+
+        oid = obi_id_of(obj)
+        with self._lock:
+            if oid in self._provider_refs:
+                raise ReplicationError(
+                    f"object {oid!r} is already exported unguarded; "
+                    "export_guarded must come first"
+                )
+            interface = interface_of(obj)
+            guard = AccessGuard(self.endpoint, ProxyIn(self, obj), policy)
+            ref = self.endpoint.export(guard, interface=interface.name)
+            self._provider_refs[oid] = ref
+            if oid not in self._replicas:
+                self._masters.setdefault(oid, MasterRecord(obj=obj))
+        self.events.publish("provider_exported", site=self, oid=oid, ref=ref)
+        if name is not None:
+            self.naming.rebind(name, ref)
+        return ref
+
+    # ------------------------------------------------------------------
+    # public API: consumer role
+    # ------------------------------------------------------------------
+    def replicate(
+        self, target: str | RemoteRef, mode: ReplicationMode | None = None
+    ) -> object:
+        """Fetch a replica of the object behind ``target``.
+
+        ``target`` is a bound name or a proxy-in reference.  ``mode``
+        picks the granularity at run time (paper Section 2.1): per-object
+        incremental, transitive closure, or cluster.
+        """
+        ref = self._resolve_target(target)
+        package = self.endpoint.invoke(
+            ref, "get", (mode if mode is not None else Incremental(1),)
+        )
+        replica = integrate_package(self, package)
+        self.events.publish("replica_registered", site=self, root=replica, package=package)
+        return replica
+
+    def remote_stub(self, target: str | RemoteRef) -> Stub:
+        """An RMI stub on the master — every call crosses the network.
+
+        Exposes the user interface (forwarded by the proxy-in), so an
+        application can switch between this stub and a replica at run
+        time without changing call sites.
+        """
+        ref = self._resolve_target(target)
+        entry = compiled_registry.by_interface(ref.interface)
+        return self.endpoint.stub(ref, entry.interface.methods)
+
+    def put_back(self, replica: object) -> int:
+        """Push a replica's state onto its master; returns the new version."""
+        cluster_ops.check_individually_updatable(self, replica)
+        info = self._replica_record(replica)
+        package = build_put(self, [replica])
+        versions = self.endpoint.invoke(info.provider, "put", (package,))
+        info.version = versions[obi_id_of(replica)]
+        return info.version
+
+    def put_back_cluster(self, root: object) -> dict[str, int]:
+        """Push a whole cluster's state through its root's provider."""
+        info = self._replica_record(root)
+        package = cluster_ops.build_cluster_put(self, root)
+        versions = self.endpoint.invoke(info.provider, "put", (package,))
+        for oid, version in versions.items():
+            record = self._replicas.get(oid)
+            if record is not None:
+                record.version = version
+        return versions
+
+    def refresh(self, replica: object) -> object:
+        """Re-fetch a replica's state from its master, updating in place."""
+        cluster_ops.check_individually_updatable(self, replica)
+        info = self._replica_record(replica)
+        package = self.endpoint.invoke(info.provider, "get", (Incremental(1),))
+        refreshed = integrate_package(self, package)
+        self.events.publish("replica_refreshed", site=self, replica=refreshed)
+        return refreshed
+
+    def refresh_cluster(self, root: object) -> object:
+        """Re-fetch a whole cluster through its root's provider.
+
+        The counterpart of :meth:`put_back_cluster`: one get under the
+        cluster's original mode refreshes the root and every member in
+        place (cluster members cannot be individually refreshed).
+        """
+        info = self._replica_record(root)
+        package = self.endpoint.invoke(info.provider, "get", (info.mode,))
+        refreshed = integrate_package(self, package)
+        self.events.publish("replica_refreshed", site=self, replica=refreshed)
+        return refreshed
+
+    def invoke_local(self, obj: object, method: str, *args: object, **kwargs: object) -> object:
+        """Invoke a method on a local object, charging the LMI cost (2 µs).
+
+        Plain attribute calls work too — this wrapper exists so simulated
+        benchmarks account invocation time the way the paper measures it.
+        """
+        self.clock.advance(self.costs.local_invoke_s)
+        return getattr(obj, method)(*args, **kwargs)
+
+    def touch(self, master: object) -> int:
+        """Announce a direct local modification of a master object.
+
+        Masters are plain objects, so the middleware cannot observe the
+        master site's own writes; version-based staleness detection
+        (refresh, leases, reconciliation, transactions) only sees changes
+        that arrive via ``put`` — or that the master application declares
+        with ``touch``.  Returns the new version.
+        """
+        return self.bump_master_version(obi_id_of(master))
+
+    def memory_footprint(self) -> int:
+        """Approximate bytes of replica state held at this site.
+
+        The info-appliance constraint the paper's evaluation closes on:
+        "for info-appliances with reduced amount of free memory, when
+        only a part of the objects are effectively needed, it is clearly
+        advantageous to incrementally replicate a small number of
+        objects".  Masters are excluded — they are the application's own
+        data; this measures what replication added.  Each replica is
+        costed on its *own* state, with references to other OBIWAN nodes
+        counted as pointers rather than followed (every replica is
+        already summed once).
+        """
+        return sum(
+            _own_state_size(record.obj) for record in self._replicas.values()
+        )
+
+    def evict(self, replica: object) -> None:
+        """Drop replication bookkeeping for a replica (memory pressure on
+        an info-appliance).  The object itself stays usable as a plain
+        local object; it can no longer be put back or refreshed."""
+        self._replicas.pop(obi_id_of(replica), None)
+
+    # ------------------------------------------------------------------
+    # naming
+    # ------------------------------------------------------------------
+    @property
+    def naming(self):
+        return self.endpoint.naming
+
+    def _resolve_target(self, target: str | RemoteRef) -> RemoteRef:
+        if isinstance(target, RemoteRef):
+            return target
+        if isinstance(target, str):
+            return self.naming.lookup(target)
+        raise ReplicationError(
+            f"cannot replicate from target of type {type(target).__name__}; "
+            "pass a bound name or a RemoteRef"
+        )
+
+    # ------------------------------------------------------------------
+    # engine services (used by repro.core.replication / faults / cluster)
+    # ------------------------------------------------------------------
+    @property
+    def registry(self):
+        return self.endpoint.registry
+
+    @property
+    def clock(self) -> Clock:
+        return self.endpoint.clock
+
+    def ensure_provider_for(self, obj: object) -> tuple[RemoteRef, bool]:
+        """Make sure ``obj`` has an exported proxy-in; returns (ref, created)."""
+        oid = obi_id_of(obj)
+        with self._lock:
+            existing = self._provider_refs.get(oid)
+            if existing is not None:
+                return existing, False
+            interface = interface_of(obj)
+            proxy_in = ProxyIn(self, obj)
+            ref = self.endpoint.export(proxy_in, interface=interface.name)
+            self._provider_refs[oid] = ref
+            if oid not in self._replicas:
+                self._masters.setdefault(oid, MasterRecord(obj=obj))
+        self.events.publish("provider_exported", site=self, oid=oid, ref=ref)
+        return ref, True
+
+    def drop_master(self, oid: str) -> bool:
+        """Forget a master record entirely (reachability GC).
+
+        Retracts the proxy-in too.  The Python object itself is
+        unaffected — if the application still references it, it lives on
+        as plain local state and can be re-exported later.
+        """
+        with self._lock:
+            self.retract_provider(oid)
+            return self._masters.pop(oid, None) is not None
+
+    def iter_masters(self):
+        return iter(list(self._masters.items()))
+
+    def retract_provider(self, oid: str) -> bool:
+        """Withdraw an object's proxy-in (distributed-GC reclamation).
+
+        The master record survives — the object is still local state — but
+        remote references to the old proxy-in die, exactly like Java RMI's
+        "no such object in table" after a DGC lease expires.  A later
+        ``ensure_provider_for`` exports a fresh proxy-in.
+        """
+        with self._lock:
+            ref = self._provider_refs.pop(oid, None)
+            if ref is None:
+                return False
+            self.endpoint.unexport(ref.object_id)
+            return True
+
+    def note_master(self, obj: object) -> None:
+        """Record ``obj`` as mastered here without exporting a proxy-in.
+
+        Cluster members stay proxy-in-less (the cluster shares its root's
+        pair), but their master records must exist so a cluster ``put``
+        can find them.
+        """
+        oid = obi_id_of(obj)
+        with self._lock:
+            if oid not in self._replicas:
+                self._masters.setdefault(oid, MasterRecord(obj=obj))
+
+    def version_of(self, obj: object) -> int:
+        oid = obi_id_of(obj)
+        master = self._masters.get(oid)
+        if master is not None:
+            return master.version
+        replica = self._replicas.get(oid)
+        if replica is not None:
+            return replica.version
+        return 1
+
+    def is_master(self, oid: str) -> bool:
+        return oid in self._masters
+
+    def is_replica(self, oid: str) -> bool:
+        return oid in self._replicas
+
+    def has_exported(self, oid: str) -> bool:
+        return oid in self._provider_refs
+
+    def master_object_for(self, oid: str) -> object | None:
+        record = self._masters.get(oid)
+        return record.obj if record is not None else None
+
+    def master_version(self, master: object) -> int:
+        record = self._masters.get(obi_id_of(master))
+        if record is None:
+            raise ReplicationError(f"object is not mastered at site {self.name!r}")
+        return record.version
+
+    def bump_master_version(self, oid: str) -> int:
+        with self._lock:
+            record = self._masters.get(oid)
+            if record is None:
+                raise ReplicationError(f"no master {oid!r} at site {self.name!r}")
+            record.version += 1
+            version = record.version
+        self.events.publish("put_applied", site=self, oid=oid, version=version)
+        return version
+
+    def local_object_for(self, oid: str) -> object | None:
+        """The master or replica with this identity, if present here."""
+        master = self._masters.get(oid)
+        if master is not None:
+            return master.obj
+        replica = self._replicas.get(oid)
+        if replica is not None:
+            return replica.obj
+        return None
+
+    def local_node_for(self, oid: str) -> object | None:
+        """Like :meth:`local_object_for`, but also reuses pending proxies."""
+        local = self.local_object_for(oid)
+        if local is not None:
+            return local
+        return self._pending_proxies.get(oid)
+
+    def replica_info(self, oid: str) -> ReplicaRecord | None:
+        return self._replicas.get(oid)
+
+    def iter_replicas(self):
+        return iter(list(self._replicas.values()))
+
+    def register_replica(self, obj: object, meta: ObjectMeta, mode: ReplicationMode) -> None:
+        with self._lock:
+            self._register_replica_locked(obj, meta, mode)
+
+    def _register_replica_locked(self, obj: object, meta: ObjectMeta, mode: ReplicationMode) -> None:
+        oid = meta.obi_id
+        existing = self._replicas.get(oid)
+        if existing is not None:
+            existing.obj = obj
+            existing.version = meta.version
+            existing.invalidated = False
+            if meta.provider is not None:
+                existing.provider = meta.provider
+                existing.cluster_root = None
+            return
+        self._replicas[oid] = ReplicaRecord(
+            obj=obj,
+            provider=meta.provider,
+            version=meta.version,
+            mode=mode,
+            cluster_root=meta.cluster_root,
+        )
+
+    def make_proxy_out(
+        self, target_id: str, interface_name: str, provider: RemoteRef, mode: ReplicationMode
+    ) -> ProxyOutBase:
+        entry = compiled_registry.by_interface(interface_name)
+        proxy = entry.proxy_out_cls(self, target_id, provider, entry.interface, mode)
+        self._pending_proxies[target_id] = proxy
+        self.gc_stats.track_created()
+        return proxy
+
+    def resolve_fault(self, proxy: ProxyOutBase) -> object:
+        replica = faults.resolve_fault(self, proxy)
+        self.events.publish("fault_resolved", site=self, proxy=proxy, replica=replica)
+        return replica
+
+    def finish_fault(self, proxy: ProxyOutBase, replica: object) -> None:
+        self._pending_proxies.pop(proxy._obi_target_id, None)
+        self.gc_stats.track_resolved(proxy)
+
+    # ------------------------------------------------------------------
+    # cost charging
+    # ------------------------------------------------------------------
+    def charge_serialization(self, nbytes: int) -> None:
+        self.clock.advance(nbytes * self.costs.serialize_per_byte_s)
+
+    def charge_pairs(self, count: int) -> None:
+        if count:
+            self.clock.advance(count * self.costs.proxy_pair_create_s)
+
+    def charge_pair_batch(self, count: int) -> None:
+        """The superlinear burst penalty (see CostModel docs)."""
+        if count > 1:
+            self.clock.advance(count * count * self.costs.pair_batch_quadratic_s)
+
+    def charge_replicas(self, count: int) -> None:
+        if count:
+            self.clock.advance(count * self.costs.replica_create_s)
+
+    # ------------------------------------------------------------------
+    # introspection helpers used by the engine's put path
+    # ------------------------------------------------------------------
+    def _replica_record(self, replica: object) -> ReplicaRecord:
+        if not is_obiwan(replica):
+            raise ReplicationError(f"{type(replica).__name__} is not an OBIWAN object")
+        record = self._replicas.get(obi_id_of(replica))
+        if record is None:
+            raise ReplicationError(
+                f"object {obi_id_of(replica)!r} is not a replica on site {self.name!r}"
+            )
+        if record.provider is None:
+            raise ClusterError(
+                "replica has no individual provider (cluster member); use the cluster root"
+            )
+        return record
+
+    def __repr__(self) -> str:
+        return (
+            f"Site({self.name!r}, masters={len(self._masters)}, "
+            f"replicas={len(self._replicas)})"
+        )
+
+
+class World:
+    """A set of sites wired to one network and one name server."""
+
+    def __init__(self, network: Network, *, costs: CostModel | None = None):
+        self.network = network
+        self.costs = costs if costs is not None else CostModel.calibrated_2002()
+        self.sites: dict[str, Site] = {}
+        self._nameserver_site: str | None = None
+
+    # ------------------------------------------------------------------
+    # constructors for the three transports
+    # ------------------------------------------------------------------
+    @classmethod
+    def loopback(
+        cls,
+        *,
+        link: Link = LAN_10MBPS,
+        clock: Clock | None = None,
+        costs: CostModel | None = None,
+        seed: int | None = None,
+    ) -> "World":
+        """Deterministic simulated-time world (the benchmark default)."""
+        network = LoopbackNetwork(
+            clock if clock is not None else SimClock(), default_link=link, seed=seed
+        )
+        return cls(network, costs=costs)
+
+    @classmethod
+    def threaded(cls, *, link: Link = LAN_10MBPS, costs: CostModel | None = None) -> "World":
+        """Concurrent in-process world on the wall clock."""
+        network = ThreadedNetwork(WallClock(), default_link=link)
+        return cls(network, costs=costs if costs is not None else CostModel.zero())
+
+    @classmethod
+    def tcp(cls, *, link: Link = LAN_10MBPS, costs: CostModel | None = None) -> "World":
+        """Localhost-TCP world — the closest analogue of RMI over a LAN."""
+        network = TcpNetwork(WallClock(), default_link=link)
+        return cls(network, costs=costs if costs is not None else CostModel.zero())
+
+    # ------------------------------------------------------------------
+    # site management
+    # ------------------------------------------------------------------
+    def create_site(self, name: str | None = None) -> Site:
+        """Attach a new site; the first site created hosts the name server."""
+        site_name = name if name is not None else new_site_id()
+        if site_name in self.sites:
+            raise ReplicationError(f"site {site_name!r} already exists in this world")
+        endpoint = RmiEndpoint(
+            self.network, site_name, nameserver_site=self._nameserver_site
+        )
+        if self._nameserver_site is None:
+            endpoint.host_nameserver()
+            self._nameserver_site = site_name
+            # Earlier sites cannot exist (this is the first), so nothing to
+            # retrofit; later sites get the pointer at construction.
+        site = Site(self, site_name, endpoint)
+        self.sites[site_name] = site
+        return site
+
+    @property
+    def clock(self) -> Clock:
+        return self.network.clock
+
+    def close(self) -> None:
+        self.network.close()
+
+    def __enter__(self) -> "World":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"World({type(self.network).__name__}, sites={sorted(self.sites)})"
+
+
+def _own_state_size(obj: object) -> int:
+    """Bytes of one object's own state; OBIWAN references cost a pointer."""
+    return sum(_value_size(value) for value in vars(obj).values())
+
+
+def _value_size(value: object) -> int:
+    from repro.core import graphwalk
+    from repro.util.sizes import estimate_payload_size
+
+    if graphwalk.is_node(value):
+        return 8  # a reference, not the referent
+    if isinstance(value, dict):
+        return 8 + sum(_value_size(k) + _value_size(v) for k, v in value.items())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 8 + sum(_value_size(item) for item in value)
+    return estimate_payload_size(value)

@@ -1,0 +1,84 @@
+"""Per-site telemetry snapshots.
+
+Operators of a middleware need to see what a site is doing: how many
+masters and replicas it holds, how many faults it has taken, how much
+traffic it has generated and where the simulated time went.  A
+:class:`TelemetrySnapshot` captures that in one immutable record, and
+``render()`` prints it the way the examples do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime import Site
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetrySnapshot:
+    """One site's state at a point in (simulated) time."""
+
+    site: str
+    clock_s: float
+    masters: int
+    replicas: int
+    cluster_members: int
+    individually_updatable: int
+    pending_proxies: int
+    exported_objects: int
+    proxies_created: int
+    faults_resolved: int
+    proxies_collected: int
+    bytes_sent: int
+    bytes_received: int
+    messages_sent: int
+    messages_received: int
+
+    def render(self) -> str:
+        return (
+            f"site {self.site} @ t={self.clock_s:.3f}s\n"
+            f"  objects : {self.masters} masters, {self.replicas} replicas "
+            f"({self.individually_updatable} updatable, "
+            f"{self.cluster_members} cluster members), "
+            f"{self.pending_proxies} pending proxies\n"
+            f"  faults  : {self.faults_resolved} resolved of "
+            f"{self.proxies_created} proxies created; "
+            f"{self.proxies_collected} collected\n"
+            f"  traffic : sent {self.messages_sent} msgs / {self.bytes_sent} B, "
+            f"received {self.messages_received} msgs / {self.bytes_received} B"
+        )
+
+
+def snapshot(site: "Site") -> TelemetrySnapshot:
+    """Capture a site's telemetry right now."""
+    replicas = list(site.iter_replicas())
+    cluster_members = sum(1 for r in replicas if r.cluster_root is not None)
+
+    bytes_sent = messages_sent = bytes_received = messages_received = 0
+    for (src, dst), link in site.world.network.stats.per_link.items():
+        if src == site.name:
+            bytes_sent += link.bytes
+            messages_sent += link.messages
+        if dst == site.name:
+            bytes_received += link.bytes
+            messages_received += link.messages
+
+    return TelemetrySnapshot(
+        site=site.name,
+        clock_s=site.clock.now(),
+        masters=len(site._masters),
+        replicas=len(replicas),
+        cluster_members=cluster_members,
+        individually_updatable=sum(1 for r in replicas if r.provider is not None),
+        pending_proxies=len(site._pending_proxies),
+        exported_objects=len(site.endpoint.objects),
+        proxies_created=site.gc_stats.proxies_created,
+        faults_resolved=site.gc_stats.faults_resolved,
+        proxies_collected=site.gc_stats.resolved_collected,
+        bytes_sent=bytes_sent,
+        bytes_received=bytes_received,
+        messages_sent=messages_sent,
+        messages_received=messages_received,
+    )

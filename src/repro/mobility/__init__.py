@@ -1,0 +1,54 @@
+"""Mobility support — the paper's motivating scenario.
+
+"In the mobile environment, applications will face frequent, lengthy
+network disconnections … applications should handle such disconnections
+gracefully and as transparently as possible."  This package provides the
+pieces an info-appliance application combines:
+
+* :mod:`~repro.mobility.connectivity` — voluntary/involuntary
+  disconnection control for a site;
+* :mod:`~repro.mobility.hoard` — hoarding (prefetching) object graphs
+  before going offline, including background fault prefetching (the
+  paper's "a perfect mechanism of pre-fetching … can completely eliminate
+  the latency" footnote);
+* :mod:`~repro.mobility.offline` — invocation with automatic fallback
+  from RMI to a (possibly stale) local replica;
+* :mod:`~repro.mobility.transactions` — relaxed, optimistic transactions
+  on replicas that validate at commit time (the paper's "relaxed
+  transactional support" hook);
+* :mod:`~repro.mobility.reconcile` — reconnection reconciliation of
+  offline modifications against master state.
+
+:class:`MobileNode` bundles them behind one object.
+"""
+
+from repro.mobility.agent import AgentHost, AgentTrip, launch_agent
+from repro.mobility.connectivity import ConnectivityManager
+from repro.mobility.hoard import Hoard
+from repro.mobility.node import MobileNode
+from repro.mobility.offline import FallbackInvoker, InvocationResult
+from repro.mobility.reconcile import (
+    ReconcileAction,
+    ReconcileReport,
+    Reconciler,
+    keep_local,
+    keep_master,
+)
+from repro.mobility.transactions import MobileTransaction
+
+__all__ = [
+    "ConnectivityManager",
+    "Hoard",
+    "FallbackInvoker",
+    "InvocationResult",
+    "MobileTransaction",
+    "Reconciler",
+    "ReconcileReport",
+    "ReconcileAction",
+    "keep_local",
+    "keep_master",
+    "MobileNode",
+    "AgentHost",
+    "AgentTrip",
+    "launch_agent",
+]

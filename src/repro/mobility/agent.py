@@ -1,0 +1,137 @@
+"""Mobile agents: code-free state migration along an itinerary.
+
+The paper folds agents into its motivation twice: "as long as objects
+needed by an application **(or by an agent)** are colocated, there is no
+need to be connected to the network."  An OBIWAN agent is an ordinary
+compiled object that *moves*: its state is serialized, shipped to the
+next site's :class:`AgentHost`, rebuilt there and given control
+(``on_arrive``).  OBIWAN references in the agent's luggage travel as
+proxy-out descriptors — at the destination they fault against their
+providers like any other reference, so an agent can carry pointers into
+graphs it has not copied.
+
+Deployment model (paper Section 3): every site already loads the same
+obicomp output, so shipping *state* suffices — no code mobility needed,
+exactly as the Java prototype ships serialized objects between JVMs
+holding the same classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.interfaces import Incremental
+from repro.core.meta import interface_of, is_obiwan
+from repro.core.replication import PackagingSwizzler, SiteUnswizzler
+from repro.rmi.refs import RemoteRef
+from repro.serial.decoder import Decoder
+from repro.serial.encoder import Encoder
+from repro.util.errors import ReplicationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime import Site
+
+#: Well-known export id of a site's agent host.
+AGENT_HOST_OBJECT_ID = "obj:agent-host"
+AGENT_HOST_METHODS = ("receive",)
+
+
+@dataclass
+class AgentTrip:
+    """What came home: the returned agent and its per-site results."""
+
+    agent: object
+    visits: list[tuple[str, object]]
+
+    @property
+    def sites_visited(self) -> list[str]:
+        return [site for site, _result in self.visits]
+
+
+class AgentHost:
+    """Receives travelling agents, runs them, forwards them onward."""
+
+    def __init__(self, site: "Site"):
+        self._site = site
+        site.endpoint.export(self, object_id=AGENT_HOST_OBJECT_ID, interface="IAgentHost")
+
+    # ------------------------------------------------------------------
+    # remote surface
+    # ------------------------------------------------------------------
+    def receive(
+        self,
+        wire_name: str,
+        state_payload: bytes,
+        itinerary: list[str],
+        visits: list,
+    ) -> tuple[str, bytes, list]:
+        """Rebuild the agent, run it here, forward or return it."""
+        agent = _unpack_agent(self._site, wire_name, state_payload)
+        result = agent.on_arrive(self._site)
+        visits = [*visits, (self._site.name, result)]
+        if itinerary:
+            return _forward(self._site, agent, itinerary, visits)
+        return (wire_name, _pack_agent(self._site, agent), visits)
+
+
+def launch_agent(site: "Site", agent: object, itinerary: list[str]) -> AgentTrip:
+    """Send ``agent`` along ``itinerary`` and wait for it to come home.
+
+    ``agent`` must be an obicomp-compiled object with an
+    ``on_arrive(site)`` method; each visited site must run an
+    :class:`AgentHost`.  The local instance is conceptually consumed —
+    the returned :class:`AgentTrip` carries the travelled agent's final
+    state in a fresh instance.
+    """
+    if not is_obiwan(agent):
+        raise ReplicationError("agents must be obicomp-compiled objects")
+    if not callable(getattr(agent, "on_arrive", None)):
+        raise ReplicationError("agents must define on_arrive(site)")
+    if not itinerary:
+        raise ReplicationError("itinerary must name at least one site")
+
+    wire_name, payload, visits = _forward(site, agent, itinerary, visits=[])
+    returned = _unpack_agent(site, wire_name, payload)
+    return AgentTrip(agent=returned, visits=visits)
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+def _forward(
+    site: "Site", agent: object, itinerary: list[str], visits: list
+) -> tuple[str, bytes, list]:
+    next_site, rest = itinerary[0], list(itinerary[1:])
+    host_ref = RemoteRef(
+        site_id=next_site, object_id=AGENT_HOST_OBJECT_ID, interface="IAgentHost"
+    )
+    wire_name = site.registry.lookup_class(type(agent)).name
+    payload = _pack_agent(site, agent)
+    return site.endpoint.invoke(
+        host_ref, "receive", (wire_name, payload, rest, visits)
+    )
+
+
+def _pack_agent(site: "Site", agent: object) -> bytes:
+    """The agent's own state by value; OBIWAN references as proxies."""
+    swizzler = PackagingSwizzler(site, member_ids={id(agent)})
+    payload = Encoder(site.registry, swizzler).encode(dict(vars(agent)))
+    site.charge_pairs(swizzler.pairs_created)
+    site.charge_serialization(len(payload))
+    return payload
+
+
+def _unpack_agent(site: "Site", wire_name: str, payload: bytes) -> object:
+    entry = site.registry.lookup_name(wire_name)
+    agent = entry.factory()
+    if not is_obiwan(agent):
+        raise ReplicationError(f"{wire_name!r} is not a compiled agent class")
+    state = Decoder(site.registry, SiteUnswizzler(site, Incremental(1))).decode(payload)
+    if not isinstance(state, dict):
+        raise ReplicationError("agent payload must decode to a state dict")
+    vars(agent).update(state)
+    site.charge_serialization(len(payload))
+    # Sanity: the rebuilt instance still honours its declared interface.
+    interface_of(agent)
+    return agent

@@ -1,0 +1,73 @@
+"""Connectivity management for a mobile site.
+
+Disconnections are first-class and typed: *voluntary* ("due to a high
+dollar cost") or *involuntary* ("due to a lack of network coverage").
+The manager drives the network's connectivity map for its site and
+publishes ``connectivity_changed`` events on the site bus so hoards,
+reconcilers and applications can react.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime import Site
+
+
+class ConnectivityManager:
+    """On/offline switch for one site."""
+
+    def __init__(self, site: "Site"):
+        self.site = site
+        self._offline = False
+        self._voluntary = False
+
+    # ------------------------------------------------------------------
+    # state changes
+    # ------------------------------------------------------------------
+    def go_offline(self, *, voluntary: bool = False) -> None:
+        """Disconnect the site from the network (idempotent)."""
+        self.site.endpoint.network.disconnect(self.site.name, voluntary=voluntary)
+        self._offline = True
+        self._voluntary = voluntary
+        self.site.events.publish(
+            "connectivity_changed", site=self.site, online=False, voluntary=voluntary
+        )
+
+    def go_online(self) -> None:
+        """Reconnect the site (idempotent)."""
+        self.site.endpoint.network.reconnect(self.site.name)
+        self._offline = False
+        self._voluntary = False
+        self.site.events.publish(
+            "connectivity_changed", site=self.site, online=True, voluntary=False
+        )
+
+    @contextmanager
+    def offline(self, *, voluntary: bool = True):
+        """``with connectivity.offline(): …`` — scoped disconnection."""
+        self.go_offline(voluntary=voluntary)
+        try:
+            yield self
+        finally:
+            self.go_online()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def is_online(self) -> bool:
+        return not self._offline
+
+    @property
+    def is_voluntary(self) -> bool:
+        """True when offline by choice (e.g. saving connection cost)."""
+        return self._offline and self._voluntary
+
+    def __repr__(self) -> str:
+        if self._offline:
+            kind = "voluntary" if self._voluntary else "involuntary"
+            return f"ConnectivityManager({self.site.name!r}, offline/{kind})"
+        return f"ConnectivityManager({self.site.name!r}, online)"

@@ -1,0 +1,115 @@
+"""The public OBIWAN API — everything an application needs in one import.
+
+::
+
+    from repro import obiwan
+
+    @obiwan.compile
+    class Agenda:
+        def __init__(self):
+            self.entries = []
+        def add(self, text):
+            self.entries.append(text)
+        def all(self):
+            return list(self.entries)
+
+    world = obiwan.World.loopback()
+    office = world.create_site("office-pc")
+    pda = world.create_site("pda")
+
+    office.export(Agenda(), name="agenda")
+
+    stub = pda.remote_stub("agenda")            # RMI: every call remote
+    replica = pda.replicate("agenda")           # LMI: calls run locally
+    replica.add("buy milk")
+    pda.put_back(replica)                       # push state to the master
+
+The run-time RMI/LMI choice, the replication ``mode`` argument
+(:func:`Incremental`, :func:`Transitive`, :func:`Cluster`) and the
+``put_back``/``refresh`` pair are the paper's programming model.
+"""
+
+from repro.core.costs import CostModel
+from repro.core.interfaces import (
+    Cluster,
+    Incremental,
+    Interface,
+    ReplicationMode,
+    Transitive,
+)
+from repro.core.meta import interface_of, is_obiwan, obi_id_of
+from repro.core.obicomp import (
+    compile_class,
+    derive_interface,
+    emit_module,
+    emit_proxy_source,
+    port_legacy_class,
+    port_rmi_class,
+)
+from repro.core.dgc import DgcClient, DgcServer
+from repro.core.gc_global import MasterCollector
+from repro.core.proxy_out import ProxyOutBase
+from repro.core.runtime import Site, World
+from repro.rmi.acl import AccessGuard, AccessPolicy
+from repro.core.telemetry import TelemetrySnapshot, snapshot
+from repro.simnet.link import LAN_10MBPS, LOCAL, WAN, WIRELESS_GPRS, WIRELESS_WLAN, Link
+from repro.util.log import SiteLogger
+from repro.util.errors import (
+    ClusterError,
+    DisconnectedError,
+    EncapsulationError,
+    ObiwanError,
+    ObjectFaultError,
+    ReplicationError,
+    SecurityError,
+    StaleReplicaError,
+    TransactionAborted,
+)
+
+#: The decorator applications put on their classes (the obicomp run).
+compile = compile_class
+
+__all__ = [
+    "World",
+    "Site",
+    "compile",
+    "compile_class",
+    "Incremental",
+    "Transitive",
+    "Cluster",
+    "ReplicationMode",
+    "Interface",
+    "CostModel",
+    "ProxyOutBase",
+    "DgcServer",
+    "DgcClient",
+    "MasterCollector",
+    "snapshot",
+    "TelemetrySnapshot",
+    "SiteLogger",
+    "is_obiwan",
+    "obi_id_of",
+    "interface_of",
+    "derive_interface",
+    "port_legacy_class",
+    "port_rmi_class",
+    "emit_module",
+    "emit_proxy_source",
+    "Link",
+    "LOCAL",
+    "LAN_10MBPS",
+    "WAN",
+    "WIRELESS_WLAN",
+    "WIRELESS_GPRS",
+    "AccessPolicy",
+    "AccessGuard",
+    "ObiwanError",
+    "ReplicationError",
+    "ObjectFaultError",
+    "EncapsulationError",
+    "ClusterError",
+    "DisconnectedError",
+    "SecurityError",
+    "StaleReplicaError",
+    "TransactionAborted",
+]

@@ -1,0 +1,34 @@
+"""Remote method invocation substrate.
+
+The Python equivalent of the Java RMI machinery the OBIWAN prototype sits
+on: remote references, an exported-object table with skeleton dispatch,
+dynamic client stubs and a name server.
+
+A :class:`~repro.rmi.endpoint.RmiEndpoint` binds one site to a network and
+gives it:
+
+* ``export(obj)``      — make a local object remotely invocable,
+* ``invoke(ref, ...)`` — call a method on a remote object,
+* ``stub(ref, methods)`` — a callable proxy with the interface's methods,
+* ``naming``           — the world's name server, itself a remote object.
+"""
+
+from repro.rmi.endpoint import RmiEndpoint
+from repro.rmi.nameserver import NAMESERVER_OBJECT_ID, NameServer
+from repro.rmi.protocol import InvokeFailure, InvokeRequest, InvokeSuccess
+from repro.rmi.refs import RemoteRef
+from repro.rmi.skeleton import ObjectTable
+from repro.rmi.stub import Stub, make_stub
+
+__all__ = [
+    "RemoteRef",
+    "ObjectTable",
+    "Stub",
+    "make_stub",
+    "NameServer",
+    "NAMESERVER_OBJECT_ID",
+    "RmiEndpoint",
+    "InvokeRequest",
+    "InvokeSuccess",
+    "InvokeFailure",
+]

@@ -1,0 +1,189 @@
+"""One site's RMI endpoint: serializer + object table + network binding.
+
+The endpoint is where the layers meet:
+
+* inbound transport frames decode into
+  :class:`~repro.rmi.protocol.InvokeRequest` and dispatch through the
+  site's :class:`~repro.rmi.skeleton.ObjectTable`;
+* outbound :meth:`invoke` calls encode, travel, and re-raise remote
+  failures locally;
+* swizzle hooks are pluggable so the replication layer above can intercept
+  object references crossing the wire.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence
+
+from repro.rmi.nameserver import (
+    NAMESERVER_METHODS,
+    NAMESERVER_OBJECT_ID,
+    NameServer,
+)
+from repro.rmi.protocol import InvokeFailure, InvokeRequest, InvokeSuccess
+from repro.rmi.refs import RemoteRef
+from repro.rmi.skeleton import ObjectTable
+from repro.rmi.stub import Stub, make_stub
+from repro.serial.decoder import Decoder
+from repro.serial.encoder import Encoder
+from repro.serial.registry import TypeRegistry, global_registry
+from repro.serial.swizzle import Swizzler, Unswizzler
+from repro.simnet.message import Message
+from repro.simnet.network import Network
+from repro.util.errors import ProtocolError
+
+
+class RmiEndpoint:
+    """Binds one site id to a network and provides RMI semantics."""
+
+    def __init__(
+        self,
+        network: Network,
+        site_id: str,
+        *,
+        registry: TypeRegistry | None = None,
+        nameserver_site: str | None = None,
+    ):
+        self.site_id = site_id
+        self.network = network
+        self.registry = registry if registry is not None else global_registry
+        self.objects = ObjectTable(site_id)
+        self._swizzler: Swizzler | None = None
+        self._unswizzler: Unswizzler | None = None
+        self._caller = threading.local()
+        self._endpoint = network.attach(site_id, self._handle_frame)
+        #: Which site hosts the name server; defaults to this site if it
+        #: hosts one (see :meth:`host_nameserver`).
+        self.nameserver_site = nameserver_site
+
+    # ------------------------------------------------------------------
+    # swizzle hooks (installed by the replication layer)
+    # ------------------------------------------------------------------
+    def set_swizzle_hooks(self, swizzler: Swizzler | None, unswizzler: Unswizzler | None) -> None:
+        self._swizzler = swizzler
+        self._unswizzler = unswizzler
+
+    def _encoder(self) -> Encoder:
+        return Encoder(self.registry, self._swizzler)
+
+    def _decoder(self) -> Decoder:
+        return Decoder(self.registry, self._unswizzler)
+
+    # ------------------------------------------------------------------
+    # server side
+    # ------------------------------------------------------------------
+    def export(self, obj: object, *, object_id: str | None = None, interface: str = "") -> RemoteRef:
+        """Make ``obj`` remotely invocable on this site."""
+        return self.objects.export(obj, object_id=object_id, interface=interface)
+
+    def unexport(self, object_id: str) -> None:
+        self.objects.unexport(object_id)
+
+    @property
+    def current_caller(self) -> str | None:
+        """The site id of the remote caller being served on this thread,
+        or ``None`` outside a dispatch (i.e. for local invocations)."""
+        return getattr(self._caller, "site", None)
+
+    def _handle_frame(self, message: Message) -> bytes | None:
+        body = self._decoder().decode(message.payload)
+        if not isinstance(body, InvokeRequest):
+            raise ProtocolError(
+                f"site {self.site_id!r} received unexpected frame body "
+                f"{type(body).__name__}"
+            )
+        self._caller.site = message.src
+        try:
+            result = self.objects.dispatch(body)
+        finally:
+            self._caller.site = None
+        return self._encoder().encode(result)
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def invoke(self, ref: RemoteRef, method: str, args: tuple = (), kwargs: dict | None = None) -> object:
+        """Call ``method`` on the remote object behind ``ref``.
+
+        Local refs short-circuit through the local object table — the same
+        optimisation the JVM applies to colocated RMI — but still go
+        through dispatch so failure semantics are identical.
+        """
+        request = InvokeRequest(
+            object_id=ref.object_id, method=method, args=args, kwargs=kwargs or {}
+        )
+        if ref.site_id == self.site_id:
+            result = self.objects.dispatch(request)
+        else:
+            payload = self._encoder().encode(request)
+            response_payload = self._endpoint.call(ref.site_id, payload)
+            result = self._decoder().decode(response_payload)
+        if isinstance(result, InvokeSuccess):
+            return result.value
+        if isinstance(result, InvokeFailure):
+            result.raise_()
+        raise ProtocolError(
+            f"invocation of {method!r} on {ref} returned unexpected body "
+            f"{type(result).__name__}"
+        )
+
+    def invoke_oneway(self, ref: RemoteRef, method: str, args: tuple = (), kwargs: dict | None = None) -> None:
+        """Fire-and-forget invocation (update dissemination, invalidations).
+
+        The remote method runs, but its result — and any exception — is
+        discarded.  Local refs dispatch immediately.
+        """
+        request = InvokeRequest(
+            object_id=ref.object_id, method=method, args=args, kwargs=kwargs or {}
+        )
+        if ref.site_id == self.site_id:
+            self.objects.dispatch(request)
+            return
+        payload = self._encoder().encode(request)
+        self._endpoint.cast(ref.site_id, payload)
+
+    def stub(self, ref: RemoteRef, methods: Sequence[str], *, interface_name: str | None = None) -> Stub:
+        """Build a client stub for ``ref`` exposing ``methods``."""
+        return make_stub(self._invoker, ref, methods, interface_name=interface_name)
+
+    def _invoker(self, ref: RemoteRef, method: str, args: tuple, kwargs: dict) -> object:
+        return self.invoke(ref, method, args, kwargs)
+
+    # ------------------------------------------------------------------
+    # naming
+    # ------------------------------------------------------------------
+    def host_nameserver(self) -> NameServer:
+        """Create and export a name server on this site."""
+        server = NameServer()
+        self.objects.export(server, object_id=NAMESERVER_OBJECT_ID, interface="INameServer")
+        self.nameserver_site = self.site_id
+        return server
+
+    @property
+    def naming(self) -> Stub:
+        """A stub on the world's name server."""
+        if self.nameserver_site is None:
+            raise ProtocolError(
+                f"site {self.site_id!r} knows no name-server site; "
+                "host one with host_nameserver() or pass nameserver_site="
+            )
+        ref = RemoteRef(
+            site_id=self.nameserver_site,
+            object_id=NAMESERVER_OBJECT_ID,
+            interface="INameServer",
+        )
+        return self.stub(ref, NAMESERVER_METHODS)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    @property
+    def clock(self):
+        return self.network.clock
+
+    def close(self) -> None:
+        self.network.detach(self.site_id)
+
+    def __repr__(self) -> str:
+        return f"RmiEndpoint({self.site_id!r}, {len(self.objects)} exported)"

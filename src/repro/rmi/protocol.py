@@ -1,0 +1,107 @@
+"""The invocation protocol: what travels inside transport payloads.
+
+Three frame bodies, all ordinary registered classes:
+
+* :class:`InvokeRequest` — target object id, method name, arguments;
+* :class:`InvokeSuccess` — the return value;
+* :class:`InvokeFailure` — a structured description of a remote exception.
+
+Failures carry the exception's wire name so well-known middleware
+exceptions (``NameNotFoundError``, ``DisconnectedError``, …) re-raise as
+their own types at the caller, while arbitrary application exceptions
+surface as :class:`~repro.util.errors.RemoteError` — the same split Java
+RMI makes between declared exceptions and ``RemoteException``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serial.registry import global_registry
+from repro.util import errors
+from repro.util.errors import RemoteError
+
+
+@dataclass(slots=True)
+class InvokeRequest:
+    """A method call on an exported object."""
+
+    object_id: str
+    method: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+
+    def __getstate__(self) -> object:
+        return (self.object_id, self.method, self.args, self.kwargs)
+
+    def __setstate__(self, state: object) -> None:
+        self.object_id, self.method, self.args, self.kwargs = state  # type: ignore[misc]
+
+
+@dataclass(slots=True)
+class InvokeSuccess:
+    """A normal return."""
+
+    value: object = None
+
+    def __getstate__(self) -> object:
+        return self.value
+
+    def __setstate__(self, state: object) -> None:
+        self.value = state
+
+
+@dataclass(slots=True)
+class InvokeFailure:
+    """A remote exception, flattened for the wire."""
+
+    error_name: str = ""
+    message: str = ""
+    remote_traceback: str = ""
+
+    def __getstate__(self) -> object:
+        return (self.error_name, self.message, self.remote_traceback)
+
+    def __setstate__(self, state: object) -> None:
+        self.error_name, self.message, self.remote_traceback = state  # type: ignore[misc]
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, traceback_text: str = "") -> "InvokeFailure":
+        return cls(
+            error_name=type(exc).__name__,
+            message=str(exc),
+            remote_traceback=traceback_text,
+        )
+
+    def raise_(self) -> "NoReturn":  # type: ignore[name-defined]  # noqa: F821
+        """Re-raise at the caller.
+
+        Middleware exceptions from :mod:`repro.util.errors` reconstruct as
+        their own type; anything else becomes :class:`RemoteError`.
+        """
+        error_cls = _WELL_KNOWN.get(self.error_name)
+        if error_cls is not None:
+            raise error_cls(self.message)
+        raise RemoteError(
+            f"remote invocation failed: {self.error_name}: {self.message}",
+            remote_type=self.error_name,
+            remote_traceback=self.remote_traceback,
+        )
+
+
+#: Middleware exception types that cross the wire losslessly.
+_WELL_KNOWN: dict[str, type[BaseException]] = {
+    name: obj
+    for name, obj in vars(errors).items()
+    if isinstance(obj, type)
+    and issubclass(obj, errors.ObiwanError)
+    and obj is not errors.ObiwanError
+}
+
+
+for _protocol_cls, _wire_name in (
+    (InvokeRequest, "rmi.InvokeRequest"),
+    (InvokeSuccess, "rmi.InvokeSuccess"),
+    (InvokeFailure, "rmi.InvokeFailure"),
+):
+    global_registry.register(_protocol_cls, name=_wire_name)

@@ -1,0 +1,51 @@
+"""Remote references.
+
+A :class:`RemoteRef` is the wire-safe identity of an exported object:
+which site it lives on, its object id in that site's export table, and the
+name of the interface it exposes (so a receiving site can build a stub
+without further round trips).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serial.registry import global_registry
+
+
+@dataclass(frozen=True, slots=True)
+class RemoteRef:
+    """Identity of a remotely-invocable object."""
+
+    site_id: str
+    object_id: str
+    interface: str = ""
+
+    def __str__(self) -> str:
+        suffix = f" ({self.interface})" if self.interface else ""
+        return f"{self.object_id}@{self.site_id}{suffix}"
+
+
+def _ref_state(ref: object) -> object:
+    assert isinstance(ref, RemoteRef)
+    return (ref.site_id, ref.object_id, ref.interface)
+
+
+def _ref_factory() -> object:
+    return RemoteRef.__new__(RemoteRef)
+
+
+def _ref_set_state(ref: object, state: object) -> None:
+    site_id, object_id, interface = state  # type: ignore[misc]
+    object.__setattr__(ref, "site_id", site_id)
+    object.__setattr__(ref, "object_id", object_id)
+    object.__setattr__(ref, "interface", interface)
+
+
+global_registry.register(
+    RemoteRef,
+    name="rmi.RemoteRef",
+    get_state=_ref_state,
+    set_state=_ref_set_state,
+    factory=_ref_factory,
+)

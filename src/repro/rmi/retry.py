@@ -1,0 +1,109 @@
+"""Retry policies for transient transport failures.
+
+The paper's environment drops frames ("slow and unreliable
+connections"), and the middleware deliberately surfaces transport loss
+as :class:`~repro.util.errors.TransportError` rather than retrying
+silently.  Applications that *do* want retries wrap an endpoint with a
+:class:`RetryingInvoker` and a policy:
+
+* :class:`NoRetry` — the default behaviour, made explicit;
+* :class:`FixedRetry` — up to N attempts, fixed pause;
+* :class:`BackoffRetry` — exponential backoff with a cap.
+
+Disconnections are **never** retried: a :class:`DisconnectedError` is a
+semantic signal (the mobility layer's fallback trigger), not noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rmi.refs import RemoteRef
+from repro.util.errors import DisconnectedError, TransportError
+
+
+@dataclass(frozen=True, slots=True)
+class NoRetry:
+    """Fail on the first transport error."""
+
+    def delays(self):  # pragma: no cover - trivially empty
+        return iter(())
+
+
+@dataclass(frozen=True, slots=True)
+class FixedRetry:
+    """Up to ``attempts`` extra tries, ``pause_s`` apart."""
+
+    attempts: int = 3
+    pause_s: float = 0.050
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.pause_s < 0:
+            raise ValueError("pause must be >= 0")
+
+    def delays(self):
+        return iter([self.pause_s] * self.attempts)
+
+
+@dataclass(frozen=True, slots=True)
+class BackoffRetry:
+    """Exponential backoff: pause, 2·pause, 4·pause … capped."""
+
+    attempts: int = 5
+    base_s: float = 0.010
+    cap_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_s <= 0 or self.cap_s < self.base_s:
+            raise ValueError("need 0 < base <= cap")
+
+    def delays(self):
+        delay = self.base_s
+        for _ in range(self.attempts):
+            yield min(delay, self.cap_s)
+            delay *= 2
+
+
+class RetryingInvoker:
+    """Wraps an RMI endpoint's invoke with a retry policy.
+
+    Pauses charge the endpoint's clock (simulated time in benchmarks,
+    no-op wall clock otherwise), so retry cost is visible to the cost
+    model like everything else.
+    """
+
+    def __init__(self, endpoint, policy=None):
+        self.endpoint = endpoint
+        self.policy = policy if policy is not None else NoRetry()
+        self.attempts_made = 0
+        self.retries_used = 0
+
+    def invoke(self, ref: RemoteRef, method: str, args: tuple = (), kwargs: dict | None = None):
+        delays = self.policy.delays()
+        while True:
+            self.attempts_made += 1
+            try:
+                return self.endpoint.invoke(ref, method, args, kwargs)
+            except DisconnectedError:
+                raise  # semantic, never retried
+            except TransportError as error:
+                pause = next(delays, None)
+                if pause is None:
+                    raise error
+                self.retries_used += 1
+                self.endpoint.clock.advance(pause)
+
+    def stub(self, ref: RemoteRef, methods, *, interface_name: str | None = None):
+        """A stub whose calls go through this retrying invoke."""
+        from repro.rmi.stub import make_stub
+
+        return make_stub(
+            lambda r, m, a, k: self.invoke(r, m, a, k),
+            ref,
+            methods,
+            interface_name=interface_name,
+        )

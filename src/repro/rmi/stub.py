@@ -1,0 +1,69 @@
+"""Client-side stubs.
+
+A :class:`Stub` is a dynamically generated proxy whose methods forward to
+:meth:`RmiEndpoint.invoke`.  The Java prototype gets stubs from the RMI
+compiler; we synthesize a class per interface at run time — the same trick
+obicomp plays one level up for proxies-out.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.rmi.refs import RemoteRef
+
+#: ``invoke(ref, method, args, kwargs)`` provided by the endpoint.
+Invoker = Callable[[RemoteRef, str, tuple, dict], object]
+
+
+class Stub:
+    """Base class for generated stubs (useful for ``isinstance`` checks)."""
+
+    _obiwan_stub = True
+
+    def __init__(self, invoker: Invoker, ref: RemoteRef):
+        self._invoker = invoker
+        self._ref = ref
+
+    @property
+    def remote_ref(self) -> RemoteRef:
+        return self._ref
+
+    def __repr__(self) -> str:
+        return f"<stub for {self._ref}>"
+
+
+def _make_method(name: str) -> Callable:
+    def method(self: Stub, *args: object, **kwargs: object) -> object:
+        return self._invoker(self._ref, name, args, kwargs)
+
+    method.__name__ = name
+    method.__qualname__ = f"Stub.{name}"
+    method.__doc__ = f"Remote invocation of {name!r} via RMI."
+    return method
+
+
+_stub_class_cache: dict[tuple[str, tuple[str, ...]], type[Stub]] = {}
+
+
+def make_stub(
+    invoker: Invoker,
+    ref: RemoteRef,
+    methods: Sequence[str],
+    *,
+    interface_name: str | None = None,
+) -> Stub:
+    """Build a stub exposing ``methods`` for the remote object ``ref``.
+
+    Stub classes are cached per (interface name, method tuple) so repeated
+    lookups of the same interface don't re-synthesize the class.
+    """
+    name = interface_name or ref.interface or "Anonymous"
+    key = (name, tuple(sorted(methods)))
+    stub_cls = _stub_class_cache.get(key)
+    if stub_cls is None:
+        namespace: dict[str, object] = {m: _make_method(m) for m in key[1]}
+        namespace["__doc__"] = f"RMI stub for interface {name!r}."
+        stub_cls = type(f"{name}Stub", (Stub,), namespace)
+        _stub_class_cache[key] = stub_cls
+    return stub_cls(invoker, ref)

@@ -1,0 +1,35 @@
+"""Object-graph serialization for the OBIWAN reproduction.
+
+Replica state moves between sites only in serialized form — this is what
+the Java prototype gets from JVM object serialization, and what guarantees
+that a replica is a true copy of its master, never an alias.
+
+Differences from :mod:`pickle`, deliberately:
+
+* Only *registered* classes can be decoded — a site cannot be made to
+  instantiate arbitrary types by a malicious peer (the prototype had the
+  same property: both sides load the obicomp-generated classes).
+* A **swizzle hook** lets the replication engine replace outgoing object
+  references with proxy-out descriptors during encoding, and materialize
+  proxy-outs during decoding — the mechanism of the paper's Figure 1.
+* Every frame's byte length is the authoritative input to the network cost
+  model, so the format is compact and deterministic.
+"""
+
+from repro.serial.encoder import Encoder
+from repro.serial.decoder import Decoder
+from repro.serial.measure import encoded_size
+from repro.serial.registry import TypeRegistry, global_registry, register_type
+from repro.serial.swizzle import SwizzleDescriptor, Swizzler, Unswizzler
+
+__all__ = [
+    "Encoder",
+    "Decoder",
+    "TypeRegistry",
+    "global_registry",
+    "register_type",
+    "SwizzleDescriptor",
+    "Swizzler",
+    "Unswizzler",
+    "encoded_size",
+]

@@ -1,0 +1,165 @@
+"""Wire-format decoder — the inverse of :mod:`repro.serial.encoder`.
+
+Objects are materialized with their registered factory *before* their
+state is decoded, and registered in the memo immediately, so cyclic graphs
+rebuild correctly.  Swizzled descriptors are handed to the unswizzler
+(the replication layer), which typically returns a freshly built
+proxy-out.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.serial import tags
+from repro.serial.encoder import _recursion_headroom
+from repro.serial.registry import TypeRegistry, global_registry
+from repro.serial.swizzle import NullSwizzler, SwizzleDescriptor, Unswizzler
+from repro.util.errors import SerializationError
+
+_U32 = struct.Struct("!I")
+_F64 = struct.Struct("!d")
+
+
+class Decoder:
+    """Decodes wire frames produced by :class:`repro.serial.Encoder`."""
+
+    def __init__(
+        self,
+        registry: TypeRegistry | None = None,
+        unswizzler: Unswizzler | None = None,
+        *,
+        max_depth: int = 50_000,
+    ):
+        self.registry = registry if registry is not None else global_registry
+        self.unswizzler = unswizzler if unswizzler is not None else NullSwizzler()
+        self.max_depth = max_depth
+
+    def decode(self, data: bytes) -> object:
+        reader = _Reader(data)
+        # Decoding nests as deeply as encoding did; see the encoder's
+        # _recursion_headroom for rationale.
+        with _recursion_headroom(self.max_depth):
+            value = self._read(reader, memo=[])
+        if not reader.exhausted:
+            raise SerializationError(
+                f"trailing garbage after frame: {reader.remaining} bytes unread"
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _read(self, reader: "_Reader", memo: list[object]) -> object:
+        tag = reader.u8()
+        if tag == tags.NONE:
+            return None
+        if tag == tags.TRUE:
+            return True
+        if tag == tags.FALSE:
+            return False
+        if tag == tags.INT:
+            length = reader.u8()
+            return int.from_bytes(reader.take(length), "big", signed=True)
+        if tag == tags.FLOAT:
+            return _F64.unpack(reader.take(8))[0]
+        if tag == tags.STR:
+            return reader.take(reader.u32()).decode("utf-8")
+        if tag == tags.BYTES:
+            return reader.take(reader.u32())
+        if tag == tags.REF:
+            index = reader.u32()
+            try:
+                return memo[index]
+            except IndexError:
+                raise SerializationError(f"dangling back-reference #{index}") from None
+        if tag == tags.LIST:
+            out: list[object] = []
+            memo.append(out)
+            for _ in range(reader.u32()):
+                out.append(self._read(reader, memo))
+            return out
+        if tag == tags.TUPLE:
+            # Tuples are immutable: decode into a placeholder slot, then
+            # patch the memo.  Self-referential tuples cannot be built in
+            # Python either, so an inner REF to an under-construction tuple
+            # is a sender bug and surfaces as a placeholder leak.
+            slot = len(memo)
+            memo.append(_PENDING)
+            items = tuple(self._read(reader, memo) for _ in range(reader.u32()))
+            memo[slot] = items
+            return items
+        if tag == tags.SET:
+            slot = len(memo)
+            memo.append(_PENDING)
+            items = {self._read(reader, memo) for _ in range(reader.u32())}
+            memo[slot] = items
+            return items
+        if tag == tags.FROZENSET:
+            slot = len(memo)
+            memo.append(_PENDING)
+            items = frozenset(self._read(reader, memo) for _ in range(reader.u32()))
+            memo[slot] = items
+            return items
+        if tag == tags.DICT:
+            mapping: dict[object, object] = {}
+            memo.append(mapping)
+            for _ in range(reader.u32()):
+                key = self._read(reader, memo)
+                mapping[key] = self._read(reader, memo)
+            return mapping
+        if tag == tags.OBJECT:
+            name = reader.take(reader.u32()).decode("utf-8")
+            entry = self.registry.lookup_name(name)
+            instance = entry.factory()
+            memo.append(instance)
+            state = self._read(reader, memo)
+            entry.set_state(instance, state)
+            return instance
+        if tag == tags.SWIZZLED:
+            kind = reader.take(reader.u32()).decode("utf-8")
+            slot = len(memo)
+            memo.append(_PENDING)
+            data = self._read(reader, memo)
+            materialized = self.unswizzler.unswizzle(SwizzleDescriptor(kind=kind, data=data))
+            memo[slot] = materialized
+            return materialized
+        raise SerializationError(f"unknown wire tag 0x{tag:02x}")
+
+
+_PENDING = object()
+
+
+class _Reader:
+    """Bounds-checked byte cursor."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def take(self, count: int) -> bytes:
+        end = self._pos + count
+        if end > len(self._data):
+            raise SerializationError(
+                f"truncated frame: wanted {count} bytes at offset {self._pos}, "
+                f"only {len(self._data) - self._pos} available"
+            )
+        chunk = self._data[self._pos : end]
+        self._pos = end
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos == len(self._data)
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos

@@ -1,0 +1,243 @@
+"""Wire-format encoder.
+
+A compact, deterministic tagged binary format.  Sharing and cycles are
+preserved through a memo table: the second time a container or object is
+reached it is emitted as a back-reference, so a graph decodes with the
+same aliasing structure it had at the sender — essential for
+``updateMember`` reference splicing to behave like the Java prototype.
+
+Wire grammar (one tag byte, then type-specific body)::
+
+    NONE FALSE TRUE                         (no body)
+    INT      <u8 len> <signed big-endian>
+    FLOAT    <8-byte IEEE 754>
+    STR      <u32 len> <utf-8>
+    BYTES    <u32 len> <raw>
+    LIST/TUPLE/SET/FROZENSET  <u32 count> <items>
+    DICT     <u32 count> <key value>*
+    OBJECT   <str name> <state value>
+    SWIZZLED <str kind> <data value>
+    REF      <u32 memo index>
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+from contextlib import contextmanager
+
+from repro.serial import tags
+from repro.serial.registry import TypeRegistry, global_registry
+from repro.serial.swizzle import NullSwizzler, Swizzler
+from repro.util.errors import SerializationError
+
+_U32 = struct.Struct("!I")
+_F64 = struct.Struct("!d")
+
+
+class Encoder:
+    """Encodes Python values into the wire format.
+
+    One encoder instance is reusable; each :meth:`encode` call is an
+    independent frame with its own memo table.
+    """
+
+    def __init__(
+        self,
+        registry: TypeRegistry | None = None,
+        swizzler: Swizzler | None = None,
+        *,
+        max_depth: int = 50_000,
+    ):
+        self.registry = registry if registry is not None else global_registry
+        self.swizzler = swizzler if swizzler is not None else NullSwizzler()
+        self.max_depth = max_depth
+
+    def encode(self, value: object) -> bytes:
+        out = bytearray()
+        # The memo maps id(obj) -> slot.  Memoized objects must stay alive
+        # for the whole encode: a freed temporary (e.g. a __getstate__
+        # tuple) could otherwise donate its id() to a new object and
+        # corrupt back-references.
+        memo = _Memo()
+        # Long linked structures (the paper's 1000-object lists) nest one
+        # encoder level per element; give the interpreter stack room.
+        with _recursion_headroom(self.max_depth):
+            self._write(out, value, memo=memo, depth=0)
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _write(self, out: bytearray, value: object, memo: '_Memo', depth: int) -> None:
+        if depth > self.max_depth:
+            raise SerializationError(
+                f"object graph exceeds maximum serialization depth ({self.max_depth})"
+            )
+
+        if value is None:
+            out.append(tags.NONE)
+            return
+        if value is True:
+            out.append(tags.TRUE)
+            return
+        if value is False:
+            out.append(tags.FALSE)
+            return
+        value_type = type(value)
+        if value_type is int:
+            self._write_int(out, value)  # type: ignore[arg-type]
+            return
+        if value_type is float:
+            out.append(tags.FLOAT)
+            out += _F64.pack(value)  # type: ignore[arg-type]
+            return
+        if value_type is str:
+            out.append(tags.STR)
+            self._write_sized(out, value.encode("utf-8"))  # type: ignore[union-attr]
+            return
+        if value_type in (bytes, bytearray):
+            out.append(tags.BYTES)
+            self._write_sized(out, bytes(value))  # type: ignore[arg-type]
+            return
+
+        # From here on values are identity-memoized (containers, objects).
+        ref = memo.get(value)
+        if ref is not None:
+            out.append(tags.REF)
+            out += _U32.pack(ref)
+            return
+
+        # The replication layer may want this reference to travel as a
+        # proxy descriptor rather than by state.
+        descriptor = self.swizzler.swizzle(value)
+        if descriptor is not None:
+            memo.add(value)
+            out.append(tags.SWIZZLED)
+            self._write_str(out, descriptor.kind)
+            self._write(out, descriptor.data, memo, depth + 1)
+            return
+
+        if value_type is list:
+            self._write_items(out, tags.LIST, value, value, memo, depth)  # type: ignore[arg-type]
+            return
+        if value_type is tuple:
+            self._write_items(out, tags.TUPLE, value, value, memo, depth)  # type: ignore[arg-type]
+            return
+        if value_type is set:
+            self._write_items(out, tags.SET, value, _canonical(value), memo, depth)  # type: ignore[arg-type]
+            return
+        if value_type is frozenset:
+            self._write_items(out, tags.FROZENSET, value, _canonical(value), memo, depth)  # type: ignore[arg-type]
+            return
+        if value_type is dict:
+            memo.add(value)
+            out.append(tags.DICT)
+            out += _U32.pack(len(value))  # type: ignore[arg-type]
+            for key, item in value.items():  # type: ignore[union-attr]
+                self._write(out, key, memo, depth + 1)
+                self._write(out, item, memo, depth + 1)
+            return
+
+        entry = self.registry.lookup_class(value_type)
+        memo.add(value)
+        out.append(tags.OBJECT)
+        self._write_str(out, entry.name)
+        self._write(out, entry.get_state(value), memo, depth + 1)
+
+    def _write_items(
+        self,
+        out: bytearray,
+        tag: int,
+        original: object,
+        items: object,
+        memo: "_Memo",
+        depth: int,
+    ) -> None:
+        # Memoize the *original* container (sets are written through a
+        # canonicalized copy, but aliases must hit the original's id).
+        memo.add(original)
+        sequence = list(items)  # type: ignore[call-overload]
+        out.append(tag)
+        out += _U32.pack(len(sequence))
+        for item in sequence:
+            self._write(out, item, memo, depth + 1)
+
+    @staticmethod
+    def _write_int(out: bytearray, value: int) -> None:
+        length = max(1, (value.bit_length() + 8) // 8)
+        if length > 255:
+            raise SerializationError(f"integer too large to encode ({length} bytes)")
+        out.append(tags.INT)
+        out.append(length)
+        out += value.to_bytes(length, "big", signed=True)
+
+    @staticmethod
+    def _write_sized(out: bytearray, data: bytes) -> None:
+        out += _U32.pack(len(data))
+        out += data
+
+    def _write_str(self, out: bytearray, text: str) -> None:
+        self._write_sized(out, text.encode("utf-8"))
+
+
+def _canonical(items: set | frozenset) -> list:
+    """Deterministic ordering for set elements, so equal sets encode equal.
+
+    Sets of mixed uncomparable types fall back to (typename, repr) ordering —
+    stable enough for the frame-size determinism the cost model needs.
+    """
+    try:
+        return sorted(items)  # type: ignore[type-var]
+    except TypeError:
+        return sorted(items, key=lambda item: (type(item).__name__, repr(item)))
+
+
+@contextmanager
+def _recursion_headroom(levels: int):
+    """Temporarily raise the interpreter recursion limit.
+
+    Each serializer level costs a handful of Python frames; budget four
+    per level on top of whatever is already in use.
+    """
+    needed = _stack_depth() + 4 * min(levels, 200_000) + 100
+    old = sys.getrecursionlimit()
+    if needed > old:
+        sys.setrecursionlimit(needed)
+    try:
+        yield
+    finally:
+        if needed > old:
+            sys.setrecursionlimit(old)
+
+
+def _stack_depth() -> int:
+    """The caller's current interpreter stack depth."""
+    frame = sys._getframe()
+    depth = 0
+    while frame is not None:
+        depth += 1
+        frame = frame.f_back
+    return depth
+
+
+class _Memo:
+    """Identity memo that keeps memoized values alive.
+
+    ``id()`` is only unique among *live* objects; holding a strong
+    reference to every memoized value prevents id reuse from corrupting
+    back-references within one frame.
+    """
+
+    __slots__ = ("_slots", "_keepalive")
+
+    def __init__(self) -> None:
+        self._slots: dict[int, int] = {}
+        self._keepalive: list[object] = []
+
+    def get(self, value: object) -> int | None:
+        return self._slots.get(id(value))
+
+    def add(self, value: object) -> None:
+        self._slots[id(value)] = len(self._slots)
+        self._keepalive.append(value)

@@ -1,0 +1,22 @@
+"""Authoritative wire-size measurement.
+
+The network cost model charges transfer time per frame byte, so "how big
+is this object on the wire" is answered by actually encoding it.  (For a
+cheap pre-serialization estimate see
+:func:`repro.util.sizes.estimate_payload_size`.)
+"""
+
+from __future__ import annotations
+
+from repro.serial.encoder import Encoder
+from repro.serial.registry import TypeRegistry
+from repro.serial.swizzle import Swizzler
+
+
+def encoded_size(
+    value: object,
+    registry: TypeRegistry | None = None,
+    swizzler: Swizzler | None = None,
+) -> int:
+    """Exact number of payload bytes ``value`` occupies on the wire."""
+    return len(Encoder(registry, swizzler).encode(value))

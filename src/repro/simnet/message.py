@@ -1,0 +1,74 @@
+"""Wire messages exchanged between sites.
+
+A :class:`Message` is the unit every transport moves.  Payloads are always
+``bytes``: forcing serialization at the transport boundary guarantees that
+replicas created on another site are true copies and never share mutable
+state with their master, even on the in-process transports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.util.ids import new_request_id
+
+
+class MessageKind(enum.Enum):
+    """Transport-level message discriminator."""
+
+    #: A request expecting exactly one :attr:`RESPONSE`.
+    REQUEST = "request"
+    #: The response to a :attr:`REQUEST`, matched by ``request_id``.
+    RESPONSE = "response"
+    #: A one-way message (update dissemination, invalidations).
+    CAST = "cast"
+    #: A transport-level failure report delivered instead of a RESPONSE.
+    ERROR = "error"
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """An immutable frame: who, what kind, correlation id and payload."""
+
+    kind: MessageKind
+    src: str
+    dst: str
+    payload: bytes
+    request_id: str = field(default_factory=new_request_id)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.payload, bytes):
+            raise TypeError(
+                f"message payload must be bytes, got {type(self.payload).__name__}; "
+                "serialize at the RMI layer before handing frames to the transport"
+            )
+
+    @property
+    def size(self) -> int:
+        """Wire size in bytes: payload plus a fixed header envelope."""
+        return len(self.payload) + _HEADER_OVERHEAD
+
+    def response(self, payload: bytes) -> Message:
+        """Build the response frame for this request."""
+        return Message(
+            kind=MessageKind.RESPONSE,
+            src=self.dst,
+            dst=self.src,
+            payload=payload,
+            request_id=self.request_id,
+        )
+
+    def error(self, payload: bytes) -> Message:
+        """Build a transport-error frame for this request."""
+        return Message(
+            kind=MessageKind.ERROR,
+            src=self.dst,
+            dst=self.src,
+            payload=payload,
+            request_id=self.request_id,
+        )
+
+
+#: Approximate size of headers (kind, addresses, correlation id, framing).
+_HEADER_OVERHEAD = 64

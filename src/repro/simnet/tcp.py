@@ -1,0 +1,197 @@
+"""Localhost TCP transport.
+
+The closest analogue of the paper's RMI-over-Ethernet deployment: frames
+really cross the operating system's socket layer.  Each attached site
+binds a listening socket on ``127.0.0.1``; calls open a connection per
+request (simple and robust; connection pooling is an optimisation the
+middleware above never observes).
+
+The in-process :class:`~repro.simnet.network.Network` object doubles as
+the port directory, which keeps the transport self-contained for tests
+and examples.  Connectivity (disconnections, partitions) is still
+enforced — a "disconnected" mobile site refuses traffic even though the
+socket would physically work.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+from repro.simnet.message import Message, MessageKind
+from repro.simnet.network import Network
+from repro.util.errors import TransportError
+
+_HEADER = struct.Struct("!B I")  # kind, payload length
+_KIND_CODES = {
+    MessageKind.REQUEST: 1,
+    MessageKind.RESPONSE: 2,
+    MessageKind.CAST: 3,
+    MessageKind.ERROR: 4,
+}
+_CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
+
+
+def _send_frame(sock: socket.socket, message: Message) -> None:
+    rid = message.request_id.encode("utf-8")
+    src = message.src.encode("utf-8")
+    dst = message.dst.encode("utf-8")
+    header = _HEADER.pack(_KIND_CODES[message.kind], len(message.payload))
+    meta = struct.pack("!HHH", len(rid), len(src), len(dst))
+    sock.sendall(header + meta + rid + src + dst + message.payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("peer closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> Message:
+    kind_code, payload_len = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    rid_len, src_len, dst_len = struct.unpack("!HHH", _recv_exact(sock, 6))
+    rid = _recv_exact(sock, rid_len).decode("utf-8")
+    src = _recv_exact(sock, src_len).decode("utf-8")
+    dst = _recv_exact(sock, dst_len).decode("utf-8")
+    payload = _recv_exact(sock, payload_len) if payload_len else b""
+    return Message(
+        kind=_CODE_KINDS[kind_code], src=src, dst=dst, payload=payload, request_id=rid
+    )
+
+
+class TcpNetwork(Network):
+    """Length-prefixed frames over localhost TCP."""
+
+    def __init__(self, *args: object, timeout: float = 30.0, **kwargs: object):
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        self._timeout = timeout
+        self._ports: dict[str, int] = {}
+        self._servers: dict[str, socket.socket] = {}
+        self._accept_threads: dict[str, threading.Thread] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _on_attach(self, site_id: str) -> None:
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind(("127.0.0.1", 0))
+        server.listen(16)
+        self._servers[site_id] = server
+        self._ports[site_id] = server.getsockname()[1]
+        thread = threading.Thread(
+            target=self._accept_loop, args=(site_id, server), name=f"tcp-{site_id}", daemon=True
+        )
+        self._accept_threads[site_id] = thread
+        thread.start()
+
+    def _on_detach(self, site_id: str) -> None:
+        server = self._servers.pop(site_id, None)
+        if server is not None:
+            try:
+                server.close()
+            except OSError:
+                pass
+        self._ports.pop(site_id, None)
+        self._accept_threads.pop(site_id, None)
+
+    def close(self) -> None:
+        super().close()
+        for site_id in list(self._servers):
+            self._on_detach(site_id)
+
+    def port_of(self, site_id: str) -> int:
+        """The TCP port a site listens on (useful for diagnostics)."""
+        try:
+            return self._ports[site_id]
+        except KeyError:
+            raise TransportError(f"no site {site_id!r} attached to this network") from None
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def call(self, src: str, dst: str, payload: bytes, *, timeout: float | None = None) -> bytes:
+        self._check_open()
+        self._check_route(src, dst)
+        request = Message(kind=MessageKind.REQUEST, src=src, dst=dst, payload=payload)
+        self._transit(request)  # accounting only; the wire provides real delay
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", self.port_of(dst)),
+                timeout=timeout if timeout is not None else self._timeout,
+            ) as sock:
+                _send_frame(sock, request)
+                response = _recv_frame(sock)
+        except (OSError, ConnectionError) as exc:
+            raise TransportError(f"tcp call {src!r}->{dst!r} failed: {exc}") from exc
+        self._check_route(dst, src)
+        self._transit(request.response(response.payload))
+        if response.kind is MessageKind.ERROR:
+            raise TransportError(
+                f"remote handler at {dst!r} failed: {response.payload.decode('utf-8', 'replace')}"
+            )
+        return response.payload
+
+    def cast(self, src: str, dst: str, payload: bytes) -> None:
+        self._check_open()
+        self._check_route(src, dst)
+        message = Message(kind=MessageKind.CAST, src=src, dst=dst, payload=payload)
+        self._transit(message)
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", self.port_of(dst)), timeout=self._timeout
+            ) as sock:
+                _send_frame(sock, message)
+        except (OSError, ConnectionError) as exc:
+            raise TransportError(f"tcp cast {src!r}->{dst!r} failed: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # server side
+    # ------------------------------------------------------------------
+    def _accept_loop(self, site_id: str, server: socket.socket) -> None:
+        while True:
+            try:
+                conn, _addr = server.accept()
+            except OSError:
+                return  # server socket closed
+            threading.Thread(
+                target=self._serve_connection,
+                args=(site_id, conn),
+                name=f"tcp-conn-{site_id}",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, site_id: str, conn: socket.socket) -> None:
+        with conn:
+            try:
+                message = _recv_frame(conn)
+            except (OSError, ConnectionError):
+                return
+            handler = self._handlers.get(site_id)
+            if handler is None:
+                return
+            if message.kind is MessageKind.CAST:
+                try:
+                    handler(message)
+                except Exception:  # noqa: BLE001 - one-way, nothing to report to
+                    pass
+                return
+            try:
+                result = handler(message)
+                if result is None:
+                    reply = message.error(b"handler returned no response")
+                else:
+                    reply = message.response(result)
+            except Exception as exc:  # noqa: BLE001 - reported to the caller
+                reply = message.error(repr(exc).encode("utf-8"))
+            try:
+                _send_frame(conn, reply)
+            except (OSError, ConnectionError):
+                pass

@@ -1,0 +1,173 @@
+"""Threaded in-process transport.
+
+Each attached site gets a mailbox queue and a dispatcher thread, so
+handlers run concurrently with callers — the concurrency profile of a real
+multi-process deployment, without sockets.  Used by integration tests to
+prove the middleware is thread-correct (the loopback transport, being
+synchronous, cannot catch reentrancy bugs).
+
+Transfer times from the link model are charged to the shared clock for
+accounting; set ``realtime=True`` to also sleep them, turning the model
+into observable latency.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+
+from repro.simnet.message import Message, MessageKind
+from repro.simnet.network import Network
+from repro.util.errors import TransportError
+
+#: Default seconds a caller waits for a response before giving up.
+DEFAULT_TIMEOUT = 30.0
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class _PendingCall:
+    """Rendezvous between a calling thread and the responding dispatcher."""
+
+    event: threading.Event = field(default_factory=threading.Event)
+    response: Message | None = None
+
+
+class ThreadedNetwork(Network):
+    """Queues plus one dispatcher thread per site."""
+
+    def __init__(self, *args: object, realtime: bool = False, **kwargs: object):
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        self._realtime = realtime
+        self._inboxes: dict[str, queue.Queue] = {}
+        self._threads: dict[str, threading.Thread] = {}
+        self._pending: dict[str, _PendingCall] = {}
+        self._pending_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _on_attach(self, site_id: str) -> None:
+        inbox: queue.Queue = queue.Queue()
+        self._inboxes[site_id] = inbox
+        thread = threading.Thread(
+            target=self._dispatch_loop,
+            args=(site_id, inbox),
+            name=f"simnet-{site_id}",
+            daemon=True,
+        )
+        self._threads[site_id] = thread
+        thread.start()
+
+    def _on_detach(self, site_id: str) -> None:
+        inbox = self._inboxes.pop(site_id, None)
+        if inbox is not None:
+            inbox.put(_SHUTDOWN)
+        self._threads.pop(site_id, None)
+
+    def close(self) -> None:
+        super().close()
+        for site_id in list(self._inboxes):
+            self._on_detach(site_id)
+        # Unblock any caller still waiting.
+        with self._pending_lock:
+            for pending in self._pending.values():
+                pending.event.set()
+            self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def call(self, src: str, dst: str, payload: bytes, *, timeout: float | None = None) -> bytes:
+        self._check_open()
+        self._check_route(src, dst)
+        request = Message(kind=MessageKind.REQUEST, src=src, dst=dst, payload=payload)
+        pending = _PendingCall()
+        with self._pending_lock:
+            self._pending[request.request_id] = pending
+        try:
+            self._transmit(request)
+            if not pending.event.wait(timeout if timeout is not None else DEFAULT_TIMEOUT):
+                raise TransportError(
+                    f"timed out waiting for response to {request.request_id} from {dst!r}"
+                )
+            response = pending.response
+        finally:
+            with self._pending_lock:
+                self._pending.pop(request.request_id, None)
+        if response is None:
+            raise TransportError(f"network closed while waiting for {request.request_id}")
+        if response.kind is MessageKind.ERROR:
+            raise TransportError(
+                f"remote handler at {dst!r} failed: {response.payload.decode('utf-8', 'replace')}"
+            )
+        return response.payload
+
+    def cast(self, src: str, dst: str, payload: bytes) -> None:
+        self._check_open()
+        self._check_route(src, dst)
+        self._transmit(Message(kind=MessageKind.CAST, src=src, dst=dst, payload=payload))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _transmit(self, message: Message) -> None:
+        """Charge the link model and enqueue at the destination."""
+        seconds = self._transit(message)
+        if self._realtime and seconds > 0:
+            threading.Event().wait(seconds)  # interruption-free sleep
+        inbox = self._inboxes.get(message.dst)
+        if inbox is None:
+            raise TransportError(f"no site {message.dst!r} attached to this network")
+        inbox.put(message)
+
+    def _dispatch_loop(self, site_id: str, inbox: queue.Queue) -> None:
+        while True:
+            item = inbox.get()
+            if item is _SHUTDOWN:
+                return
+            message: Message = item
+            if message.kind in (MessageKind.RESPONSE, MessageKind.ERROR):
+                self._complete(message)
+                continue
+            handler = self._handlers.get(site_id)
+            if handler is None:
+                continue  # site detached with frames still queued
+            try:
+                result = handler(message)
+            except Exception as exc:  # noqa: BLE001 - reported to the caller
+                if message.kind is MessageKind.REQUEST:
+                    self._respond(message.error(repr(exc).encode("utf-8")))
+                continue
+            if message.kind is MessageKind.REQUEST:
+                if result is None:
+                    self._respond(message.error(b"handler returned no response"))
+                else:
+                    self._respond(message.response(result))
+
+    def _respond(self, response: Message) -> None:
+        """Route a response back, honouring connectivity on the return path.
+
+        Responses complete the caller's pending slot directly instead of
+        travelling through the destination's dispatcher queue: the caller
+        may *be* that dispatcher (a handler making a nested call), and
+        queueing behind itself would deadlock.
+        """
+        try:
+            self._check_route(response.src, response.dst)
+            seconds = self._transit(response)
+            if self._realtime and seconds > 0:
+                threading.Event().wait(seconds)
+        except TransportError:
+            # Return path is gone: the caller's timeout reports the failure.
+            return
+        self._complete(response)
+
+    def _complete(self, response: Message) -> None:
+        with self._pending_lock:
+            pending = self._pending.get(response.request_id)
+        if pending is not None:
+            pending.response = response
+            pending.event.set()

@@ -1,0 +1,113 @@
+"""Network tracing: record every frame a network moves.
+
+A :class:`TraceRecorder` subscribes to a network and keeps an ordered
+log of ``(t, kind, src, dst, size)`` events.  Uses:
+
+* protocol-conformance tests assert the *exact* message sequence of a
+  middleware operation (e.g. Figure 1's get is lookup + get, nothing
+  else);
+* debugging — ``render()`` prints a readable timeline;
+* workload studies — per-phase byte/message accounting beyond the
+  aggregate counters in :class:`~repro.simnet.stats.NetworkStats`.
+
+Tracing is an observer on :meth:`Network._transit`; attaching it never
+changes behaviour or cost accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simnet.message import Message, MessageKind
+from repro.simnet.network import Network
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One frame's traversal."""
+
+    t: float
+    kind: MessageKind
+    src: str
+    dst: str
+    size: int
+    request_id: str
+
+    def render(self) -> str:
+        arrow = "→" if self.kind in (MessageKind.REQUEST, MessageKind.CAST) else "⇠"
+        return (
+            f"t={self.t * 1e3:9.3f}ms  {self.src:>12s} {arrow} {self.dst:<12s} "
+            f"{self.kind.value:<8s} {self.size:6d} B"
+        )
+
+
+class TraceRecorder:
+    """Ordered log of every frame on one network."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.events: list[TraceEvent] = []
+        self._original_transit = network._transit
+        network._transit = self._traced_transit  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------
+    # the observer
+    # ------------------------------------------------------------------
+    def _traced_transit(self, message: Message) -> float:
+        seconds = self._original_transit(message)
+        self.events.append(
+            TraceEvent(
+                t=self.network.clock.now(),
+                kind=message.kind,
+                src=message.src,
+                dst=message.dst,
+                size=message.size,
+                request_id=message.request_id,
+            )
+        )
+        return seconds
+
+    def detach(self) -> None:
+        """Stop recording (restores the network's transit path)."""
+        self.network._transit = self._original_transit  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def sequence(self) -> list[tuple[str, str, str]]:
+        """The conformance view: (kind, src, dst) per frame, in order."""
+        return [(e.kind.value, e.src, e.dst) for e in self.events]
+
+    def between(self, a: str, b: str) -> list[TraceEvent]:
+        """Events travelling between two sites, either direction."""
+        return [
+            e
+            for e in self.events
+            if (e.src, e.dst) in ((a, b), (b, a))
+        ]
+
+    def bytes_total(self) -> int:
+        return sum(e.size for e in self.events)
+
+    def round_trips(self) -> int:
+        """Completed request/response pairs in the log."""
+        requests = {e.request_id for e in self.events if e.kind is MessageKind.REQUEST}
+        responses = {
+            e.request_id for e in self.events if e.kind is MessageKind.RESPONSE
+        }
+        return len(requests & responses)
+
+    def render(self) -> str:
+        return "\n".join(event.render() for event in self.events) or "(no traffic)"
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.detach()

@@ -1,0 +1,54 @@
+"""Utility kernel shared by every layer of the OBIWAN reproduction.
+
+Exposes the pieces other packages need most often so call sites can write
+``from repro.util import SimClock, new_object_id`` instead of reaching into
+submodules.
+"""
+
+from repro.util.clock import Clock, SimClock, WallClock
+from repro.util.errors import (
+    ClusterError,
+    ConsistencyError,
+    DisconnectedError,
+    EncapsulationError,
+    NameNotFoundError,
+    ObiwanError,
+    ObjectFaultError,
+    ProtocolError,
+    RemoteError,
+    ReplicationError,
+    SerializationError,
+    StaleReplicaError,
+    TransactionAborted,
+    TransportError,
+)
+from repro.util.events import EventBus
+from repro.util.ids import IdGenerator, new_object_id, new_request_id, new_site_id
+from repro.util.sizes import estimate_payload_size, format_bytes
+
+__all__ = [
+    "Clock",
+    "SimClock",
+    "WallClock",
+    "ObiwanError",
+    "TransportError",
+    "RemoteError",
+    "DisconnectedError",
+    "SerializationError",
+    "NameNotFoundError",
+    "ReplicationError",
+    "ObjectFaultError",
+    "EncapsulationError",
+    "ClusterError",
+    "ConsistencyError",
+    "StaleReplicaError",
+    "TransactionAborted",
+    "ProtocolError",
+    "EventBus",
+    "IdGenerator",
+    "new_object_id",
+    "new_site_id",
+    "new_request_id",
+    "estimate_payload_size",
+    "format_bytes",
+]

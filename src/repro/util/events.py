@@ -1,0 +1,49 @@
+"""A small synchronous event bus.
+
+Used by the consistency layer (invalidation callbacks, update
+dissemination) and the mobility layer (connectivity changes) to decouple
+publishers from subscribers without threading the dependencies through
+every constructor.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable
+
+Handler = Callable[..., None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe keyed by topic string.
+
+    Handlers run in subscription order, in the caller's thread.  A handler
+    exception propagates to the publisher — events here are control flow,
+    not fire-and-forget logging, so silently swallowing failures would hide
+    protocol bugs.
+    """
+
+    def __init__(self) -> None:
+        self._handlers: dict[str, list[Handler]] = defaultdict(list)
+
+    def subscribe(self, topic: str, handler: Handler) -> Callable[[], None]:
+        """Register ``handler`` for ``topic``; returns an unsubscribe thunk."""
+        self._handlers[topic].append(handler)
+
+        def unsubscribe() -> None:
+            try:
+                self._handlers[topic].remove(handler)
+            except ValueError:
+                pass  # already unsubscribed
+
+        return unsubscribe
+
+    def publish(self, topic: str, *args: object, **kwargs: object) -> int:
+        """Invoke every handler for ``topic``; returns how many ran."""
+        handlers = list(self._handlers.get(topic, ()))
+        for handler in handlers:
+            handler(*args, **kwargs)
+        return len(handlers)
+
+    def subscriber_count(self, topic: str) -> int:
+        return len(self._handlers.get(topic, ()))

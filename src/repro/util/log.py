@@ -1,0 +1,95 @@
+"""Structured event logging for OBIWAN sites.
+
+A :class:`SiteLogger` subscribes to a site's event bus and renders each
+middleware event as one structured line, timestamped with the site's
+clock (simulated time in simulations — so logs line up with benchmark
+numbers).  Lines go to any writable stream and are kept in a bounded
+in-memory ring for tests and postmortems.
+
+Events covered: ``provider_exported``, ``replica_registered``,
+``replica_refreshed``, ``fault_resolved``, ``put_applied``,
+``connectivity_changed``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import IO, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime import Site
+
+
+class SiteLogger:
+    """Renders a site's middleware events as log lines."""
+
+    #: topic → terse renderer(kwargs) -> str
+    _RENDERERS = {
+        "provider_exported": lambda kw: f"export {kw['oid']} as {kw['ref'].object_id}",
+        "replica_registered": lambda kw: (
+            f"replicate root={_safe_oid(kw.get('root'))} "
+            f"objects={kw['package'].object_count} "
+            f"pairs={kw['package'].pairs_created}"
+        ),
+        "replica_refreshed": lambda kw: f"refresh {_safe_oid(kw.get('replica'))}",
+        "fault_resolved": lambda kw: (
+            f"fault {kw['proxy']._obi_target_id} resolved"
+        ),
+        "put_applied": lambda kw: f"put {kw['oid']} -> v{kw['version']}",
+        "connectivity_changed": lambda kw: (
+            "online" if kw["online"] else
+            f"offline ({'voluntary' if kw['voluntary'] else 'involuntary'})"
+        ),
+    }
+
+    def __init__(self, site: "Site", *, stream: IO[str] | None = None, capacity: int = 1000):
+        self.site = site
+        self.stream = stream
+        self.lines: deque[str] = deque(maxlen=capacity)
+        self._unsubscribers = [
+            site.events.subscribe(topic, self._handler(topic))
+            for topic in self._RENDERERS
+        ]
+
+    def _handler(self, topic: str):
+        renderer = self._RENDERERS[topic]
+
+        def handle(**kwargs: object) -> None:
+            line = (
+                f"[{self.site.clock.now() * 1e3:10.3f}ms] "
+                f"{self.site.name:>12s} {topic:<21s} {renderer(kwargs)}"
+            )
+            self.lines.append(line)
+            if self.stream is not None:
+                self.stream.write(line + "\n")
+
+        return handle
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def matching(self, text: str) -> list[str]:
+        return [line for line in self.lines if text in line]
+
+    def close(self) -> None:
+        """Stop logging (unsubscribe from every topic)."""
+        for unsubscribe in self._unsubscribers:
+            unsubscribe()
+        self._unsubscribers.clear()
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    def __enter__(self) -> "SiteLogger":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def _safe_oid(obj: object) -> str:
+    from repro.core.meta import is_obiwan, peek_obi_id
+
+    if obj is not None and is_obiwan(obj):
+        return peek_obi_id(obj) or "?"
+    return "?"

@@ -1,0 +1,77 @@
+"""Byte-size estimation and formatting.
+
+The cost model charges network time proportional to payload size, so the
+substrate needs a cheap, deterministic estimate of how many bytes a value
+occupies on the wire.  The authoritative number is the length of the
+serialized frame (``repro.serial``), but several call sites need a quick
+estimate before serialization — e.g. deciding whether a cluster fits a
+memory budget on an info-appliance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence, Set
+
+#: Fixed per-value envelope overhead, approximating type tags and length
+#: prefixes of the wire format.
+_ENVELOPE = 8
+
+
+def estimate_payload_size(value: object) -> int:
+    """Estimate the wire size of ``value`` in bytes.
+
+    Handles the primitive and container types the serializer supports.
+    Objects with a ``__dict__`` are costed as a mapping of their attributes.
+    Shared references are *not* deduplicated — this is an upper bound, which
+    is the safe direction for memory budgeting.
+    """
+    return _estimate(value, seen=set())
+
+
+def _estimate(value: object, seen: set[int]) -> int:
+    if value is None or isinstance(value, bool):
+        return _ENVELOPE
+    if isinstance(value, int):
+        return _ENVELOPE + max(1, (value.bit_length() + 7) // 8)
+    if isinstance(value, float):
+        return _ENVELOPE + 8
+    if isinstance(value, bytes | bytearray):
+        return _ENVELOPE + len(value)
+    if isinstance(value, str):
+        return _ENVELOPE + len(value.encode("utf-8"))
+    if id(value) in seen:
+        return _ENVELOPE  # back-reference
+    seen.add(id(value))
+    try:
+        if isinstance(value, Mapping):
+            return _ENVELOPE + sum(
+                _estimate(k, seen) + _estimate(v, seen) for k, v in value.items()
+            )
+        if isinstance(value, Sequence | Set):
+            return _ENVELOPE + sum(_estimate(item, seen) for item in value)
+        attrs = getattr(value, "__dict__", None)
+        if attrs is not None:
+            return _ENVELOPE + _estimate(dict(attrs), seen)
+        return _ENVELOPE + len(repr(value).encode("utf-8"))
+    finally:
+        seen.discard(id(value))
+
+
+def format_bytes(count: int | float) -> str:
+    """Render a byte count the way the paper labels its series.
+
+    >>> format_bytes(64)
+    '64 B'
+    >>> format_bytes(1024)
+    '1 KB'
+    >>> format_bytes(65536)
+    '64 KB'
+    """
+    count = float(count)
+    for unit in ("B", "KB", "MB", "GB"):
+        if count < 1024 or unit == "GB":
+            if count == int(count):
+                return f"{int(count)} {unit}"
+            return f"{count:.1f} {unit}"
+        count /= 1024
+    raise AssertionError("unreachable")

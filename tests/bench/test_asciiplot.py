@@ -1,0 +1,49 @@
+"""Tests for ASCII rendering."""
+
+from repro.bench.asciiplot import render_plot, render_table
+from repro.bench.harness import Series
+
+
+class TestTable:
+    def test_headers_and_alignment(self):
+        text = render_table(["name", "value"], [["alpha", 1.5], ["b", 22]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "1.50" in text  # floats get two decimals
+        assert "22" in text
+
+    def test_empty_rows(self):
+        text = render_table(["only"], [])
+        assert "only" in text
+
+
+class TestPlot:
+    def _series(self):
+        series = Series("curve")
+        for x in range(1, 11):
+            series.add(x, x * 0.001)
+        return series
+
+    def test_plot_contains_glyphs_and_legend(self):
+        text = render_plot([self._series()], title="T")
+        assert "T" in text
+        assert "*" in text
+        assert "curve" in text
+        assert "time (ms)" in text
+
+    def test_multiple_series_distinct_glyphs(self):
+        a, b = self._series(), Series("other")
+        for x in range(1, 11):
+            b.add(x, 0.02)
+        text = render_plot([a, b])
+        assert "*" in text and "o" in text
+
+    def test_empty_series_safe(self):
+        assert render_plot([Series("void")]) == "(no data)"
+
+    def test_dimensions_respected(self):
+        text = render_plot([self._series()], width=30, height=5)
+        plot_rows = [line for line in text.splitlines() if line.startswith("|")]
+        assert len(plot_rows) == 5
+        assert all(len(row) <= 31 for row in plot_rows)

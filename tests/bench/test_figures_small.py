@@ -1,0 +1,76 @@
+"""Figure-claim checks on scaled-down sweeps (fast unit-test variants of
+the full benchmark assertions)."""
+
+import pytest
+
+from repro.bench.figures import (
+    crossover_invocations,
+    experiment_anchors,
+    fig4_series,
+    fig5_series,
+    fig6_series,
+    staircase_step_count,
+    total_times_ms,
+)
+
+
+def test_anchors_match_paper():
+    anchors = experiment_anchors()
+    assert anchors.lmi_microseconds == pytest.approx(2.0, abs=0.01)
+    assert anchors.rmi_milliseconds == pytest.approx(2.8, rel=0.05)
+
+
+def test_fig4_small_sweep_claims():
+    curves = fig4_series(sizes=(16, 16384), invocations=(1, 10, 100, 1000))
+    assert crossover_invocations(curves, 16) <= crossover_invocations(curves, 16384)
+    # RMI linear, LMI flat-ish.
+    rmi = curves["RMI"]
+    assert rmi.at(1000) > 90 * rmi.at(10)
+    lmi = curves["LMI 16"]
+    assert lmi.at(1000) < 3 * lmi.at(10)
+
+
+@pytest.fixture(scope="module")
+def small_panels():
+    sizes = (64,)
+    chunks = (1, 10, 100)
+    return (
+        fig5_series(sizes, chunks, length=100)[64],
+        fig6_series(sizes, chunks, length=100)[64],
+    )
+
+
+def test_fig5_small_chunk1_is_worst(small_panels):
+    fig5, _fig6 = small_panels
+    totals = total_times_ms(fig5)
+    assert totals[1] > totals[10]
+    assert totals[1] > totals[100]
+
+
+def test_fig5_staircase_steps(small_panels):
+    fig5, _fig6 = small_panels
+    # chunk 10 over 100 objects → 9 faults after the initial fetch.
+    assert staircase_step_count(fig5[10], min_jump_ms=2.0) == 9
+
+
+def test_fig6_wins_per_cell(small_panels):
+    """Clustering beats per-object pairs on every multi-object cell.
+
+    (The 'curves are closer' spread claim only emerges at the paper's
+    full 1000-object scale, where the quadratic pair-burst penalty bites;
+    benchmarks/test_fig6_clusters.py asserts it on the full sweep.)
+    """
+    fig5, fig6 = small_panels
+    t5, t6 = total_times_ms(fig5), total_times_ms(fig6)
+    for chunk in (10, 100):
+        assert t6[chunk] < t5[chunk]
+    # And the advantage grows with chunk size (more pairs saved).
+    assert (t5[100] - t6[100]) > (t5[10] - t6[10]) or t6[100] < t6[10]
+
+
+def test_series_are_monotone_nondecreasing(small_panels):
+    fig5, fig6 = small_panels
+    for panel in (fig5, fig6):
+        for series in panel.values():
+            ys = series.ys_ms
+            assert all(b >= a for a, b in zip(ys, ys[1:]))

@@ -1,0 +1,64 @@
+"""Tests for the experiment harness (small configurations)."""
+
+import pytest
+
+from repro.bench.harness import (
+    Series,
+    run_fig5_cell,
+    run_fig6_cell,
+    run_lmi_invocations,
+    run_rmi_invocations,
+)
+
+
+class TestSeries:
+    def test_add_converts_to_ms(self):
+        series = Series("x")
+        series.add(1, 0.5)
+        assert series.points == [(1, 500.0)]
+        assert series.final_ms() == 500.0
+
+    def test_at_and_keyerror(self):
+        series = Series("x")
+        series.add(1, 0.1)
+        assert series.at(1) == pytest.approx(100.0)
+        with pytest.raises(KeyError):
+            series.at(99)
+
+    def test_xs_ys(self):
+        series = Series("x")
+        series.add(1, 0.001)
+        series.add(2, 0.002)
+        assert series.xs == [1, 2]
+        assert series.ys_ms == pytest.approx([1.0, 2.0])
+
+
+class TestRunners:
+    def test_rmi_series_is_linear(self):
+        series = run_rmi_invocations(64, 20)
+        ys = series.ys_ms
+        deltas = [b - a for a, b in zip(ys, ys[1:])]
+        assert max(deltas) - min(deltas) < 1e-6  # constant per-call cost
+        assert ys[0] == pytest.approx(2.8, rel=0.1)
+
+    def test_lmi_series_includes_end_costs(self):
+        series = run_lmi_invocations(1024, 5)
+        # Every point includes replicate + put, so even n=1 is ms-scale.
+        assert series.at(1) > 5.0
+        # Marginal invocation cost is 2 µs.
+        assert series.at(5) - series.at(1) == pytest.approx(4 * 2e-3, rel=0.01)
+
+    def test_fig5_cell_traverses_fully(self):
+        series = run_fig5_cell(64, 10, length=50)
+        assert len(series.points) == 50
+        assert series.final_ms() > 0
+
+    def test_fig6_cheaper_than_fig5_on_same_cell(self):
+        fig5 = run_fig5_cell(64, 25, length=50)
+        fig6 = run_fig6_cell(64, 25, length=50)
+        assert fig6.final_ms() < fig5.final_ms()
+
+    def test_determinism_across_runs(self):
+        first = run_fig5_cell(64, 10, length=30)
+        second = run_fig5_cell(64, 10, length=30)
+        assert first.points == second.points

@@ -1,0 +1,28 @@
+"""Tests for result recording."""
+
+import json
+
+from repro.bench.harness import Series
+from repro.bench.record import save_json, series_to_jsonable
+
+
+def test_save_json_writes_readable_file(tmp_path):
+    path = save_json("sample", {"a": 1}, directory=tmp_path)
+    assert path == tmp_path / "sample.json"
+    assert json.loads(path.read_text()) == {"a": 1}
+
+
+def test_save_json_creates_directory(tmp_path):
+    target = tmp_path / "nested" / "dir"
+    path = save_json("x", [1, 2], directory=target)
+    assert path.exists()
+
+
+def test_series_to_jsonable_roundtrips_through_json(tmp_path):
+    series = Series("curve")
+    series.add(1, 0.001)
+    blob = series_to_jsonable(series)
+    path = save_json("series", blob, directory=tmp_path)
+    loaded = json.loads(path.read_text())
+    assert loaded["label"] == "curve"
+    assert loaded["points"] == [[1, 1.0]]

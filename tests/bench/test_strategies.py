@@ -1,0 +1,86 @@
+"""Unit tests for the strategy-study machinery (small configurations)."""
+
+import pytest
+
+from repro.bench.strategies import (
+    STRATEGIES,
+    SessionSpec,
+    generate_session,
+    run_strategy,
+    strategy_study,
+)
+
+
+SMALL = SessionSpec(documents=6, operations=15, document_size=256, seed=3)
+
+
+class TestSessionGeneration:
+    def test_operation_count(self):
+        assert len(generate_session(SMALL)) == 15
+
+    def test_documents_in_range(self):
+        ops = generate_session(SMALL)
+        assert all(0 <= doc < 6 for doc, _kind in ops)
+
+    def test_write_ratio_zero_means_read_only(self):
+        spec = SessionSpec(documents=4, operations=50, write_ratio=0.0)
+        assert all(kind == "read" for _doc, kind in generate_session(spec))
+
+    def test_write_ratio_one_means_write_only(self):
+        spec = SessionSpec(documents=4, operations=50, write_ratio=1.0)
+        assert all(kind == "write" for _doc, kind in generate_session(spec))
+
+    def test_skew_concentrates_access(self):
+        heavy = SessionSpec(documents=20, operations=300, skew=2.5, seed=1)
+        flat = SessionSpec(documents=20, operations=300, skew=0.0, seed=1)
+        heavy_docs = {doc for doc, _ in generate_session(heavy)}
+        flat_docs = {doc for doc, _ in generate_session(flat)}
+        assert len(heavy_docs) < len(flat_docs)
+
+
+class TestRunStrategy:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_each_strategy_completes(self, strategy):
+        result = run_strategy(strategy, SMALL)
+        assert result.simulated_ms > 0
+        assert result.network_bytes > 0
+        assert result.documents_touched >= 1
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            run_strategy("teleport", SMALL)
+
+    def test_rmi_moves_no_documents(self):
+        result = run_strategy("rmi-only", SMALL)
+        assert result.documents_moved == 0
+
+    def test_hoard_moves_all_documents(self):
+        result = run_strategy("hoard-all", SMALL)
+        assert result.documents_moved == SMALL.documents
+
+    def test_replicate_on_use_moves_only_touched(self):
+        result = run_strategy("replicate-on-use", SMALL)
+        assert result.documents_moved == result.documents_touched
+
+    def test_determinism(self):
+        first = run_strategy("replicate-on-use", SMALL)
+        second = run_strategy("replicate-on-use", SMALL)
+        assert first.simulated_ms == second.simulated_ms
+        assert first.network_bytes == second.network_bytes
+
+    def test_writes_reach_the_server(self):
+        """All strategies end with equivalent server state for the same
+        session (write-through semantics)."""
+        # The strategies write a constant payload, so server state is the
+        # same iff the same documents were written; verify via bytes: a
+        # write-only session must move write traffic in every strategy.
+        spec = SessionSpec(documents=3, operations=10, write_ratio=1.0, document_size=128)
+        for strategy in STRATEGIES:
+            result = run_strategy(strategy, spec)
+            assert result.network_bytes > 0
+
+
+class TestStudy:
+    def test_study_covers_all_strategies(self):
+        results = strategy_study(SMALL)
+        assert [r.strategy for r in results] == list(STRATEGIES)

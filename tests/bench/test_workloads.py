@@ -1,0 +1,64 @@
+"""Tests for benchmark workload generators."""
+
+from repro.bench.workloads import (
+    ListSpec,
+    PayloadNode,
+    list_values_sum,
+    make_linked_list,
+    make_tree,
+    payload_for_size,
+)
+from repro.serial.measure import encoded_size
+
+
+def test_linked_list_shape():
+    head = make_linked_list(ListSpec(length=10, object_size=64))
+    count, node = 0, head
+    while node is not None:
+        assert node.get_index() == count
+        count += 1
+        node = node.get_next()
+    assert count == 10
+
+
+def test_object_size_is_respected_on_the_wire():
+    from repro.core.meta import obi_id_of
+
+    for target in (256, 1024, 16384):
+        node = PayloadNode(index=1, payload=payload_for_size(target))
+        obi_id_of(node)
+        actual = encoded_size(node)
+        assert abs(actual - target) <= 64, f"{target}: got {actual}"
+
+
+def test_small_sizes_floor_at_envelope():
+    assert payload_for_size(1) == b""
+
+
+def test_tree_shape():
+    tree = make_tree(depth=3)
+    count = [0]
+
+    def walk(node):
+        if node is None:
+            return
+        count[0] += 1
+        walk(node.get_left())
+        walk(node.get_right())
+
+    walk(tree)
+    assert count[0] == 2**4 - 1  # complete binary tree, depth 3
+
+
+def test_tree_leaf_has_no_children():
+    tree = make_tree(depth=0)
+    assert tree.get_left() is None and tree.get_right() is None
+
+
+def test_list_values_sum():
+    assert list_values_sum(10) == sum(range(10))
+    assert list_values_sum(1) == 0
+
+
+def test_spec_str():
+    assert str(ListSpec(1000, 64)) == "1000 objects x 64 B"

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costs import CostModel
+from repro.core.runtime import Site, World
+
+
+@pytest.fixture
+def world():
+    """A deterministic two-way loopback world with the calibrated costs."""
+    with World.loopback() as w:
+        yield w
+
+
+@pytest.fixture
+def zero_world():
+    """A loopback world with all CPU costs zeroed (timing-free tests)."""
+    with World.loopback(costs=CostModel.zero()) as w:
+        yield w
+
+
+@pytest.fixture
+def sites(world) -> tuple[Site, Site]:
+    """(provider, consumer) on the calibrated world."""
+    return world.create_site("S2"), world.create_site("S1")
+
+
+@pytest.fixture
+def zsites(zero_world) -> tuple[Site, Site]:
+    """(provider, consumer) on the zero-cost world."""
+    return zero_world.create_site("S2"), zero_world.create_site("S1")

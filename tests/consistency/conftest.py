@@ -1,0 +1,20 @@
+"""Consistency-suite fixtures: a master site plus two consumers."""
+
+import pytest
+
+from repro.core.costs import CostModel
+from repro.core.runtime import World
+from tests.models import Counter
+
+
+@pytest.fixture
+def trio():
+    """(world, master_site, consumer_a, consumer_b) with a named master
+    Counter exported as 'counter'."""
+    with World.loopback(costs=CostModel.zero()) as world:
+        master_site = world.create_site("M")
+        consumer_a = world.create_site("A")
+        consumer_b = world.create_site("B")
+        master = Counter(0)
+        master_site.export(master, name="counter")
+        yield world, master_site, consumer_a, consumer_b, master

@@ -1,0 +1,85 @@
+"""Tests for epidemic update dissemination."""
+
+import pytest
+
+from repro.consistency.epidemic import UpdateDisseminator, UpdateSubscriber
+from repro.core.meta import obi_id_of
+
+
+@pytest.fixture
+def epidemic(trio):
+    world, master_site, consumer_a, consumer_b, master = trio
+    UpdateDisseminator.export_on(master_site)
+    return world, master_site, consumer_a, consumer_b, master
+
+
+def test_update_pushed_to_subscriber(epidemic):
+    _w, _m, consumer_a, consumer_b, master = epidemic
+    sub_b = UpdateSubscriber(consumer_b)
+    rb = sub_b.track(consumer_b.replicate("counter"))
+    ra = consumer_a.replicate("counter")
+    ra.increment(6)
+    consumer_a.put_back(ra)
+    assert rb.read() == 6
+    assert sub_b.updates_received == 1
+
+
+def test_multiple_subscribers_all_converge(epidemic):
+    _w, _m, consumer_a, consumer_b, master = epidemic
+    sub_a = UpdateSubscriber(consumer_a)
+    sub_b = UpdateSubscriber(consumer_b)
+    ra = sub_a.track(consumer_a.replicate("counter"))
+    rb = sub_b.track(consumer_b.replicate("counter"))
+    ra.increment(2)
+    sub_a.write_back(ra)
+    assert ra.read() == rb.read() == 2
+
+
+def test_touch_also_disseminates(epidemic):
+    """Master-side writes announced with touch() reach subscribers."""
+    _w, master_site, _a, consumer_b, master = epidemic
+    sub_b = UpdateSubscriber(consumer_b)
+    rb = sub_b.track(consumer_b.replicate("counter"))
+    master.value = 31
+    master_site.touch(master)
+    assert rb.read() == 31
+
+
+def test_offline_subscriber_does_not_break_dissemination(epidemic):
+    world, _m, consumer_a, consumer_b, master = epidemic
+    sub_b = UpdateSubscriber(consumer_b)
+    rb = sub_b.track(consumer_b.replicate("counter"))
+    world.network.disconnect("B")
+    ra = consumer_a.replicate("counter")
+    ra.increment(4)
+    consumer_a.put_back(ra)  # must not raise
+    assert master.value == 4
+    assert rb.read() == 0  # missed the push
+    world.network.reconnect("B")
+    consumer_b.refresh(rb)  # converges on demand
+    assert rb.read() == 4
+
+
+def test_unsubscribed_site_stops_receiving(epidemic):
+    _w, _m, consumer_a, consumer_b, _master = epidemic
+    sub_b = UpdateSubscriber(consumer_b)
+    rb = sub_b.track(consumer_b.replicate("counter"))
+    stub = consumer_b.endpoint.stub(
+        consumer_b.naming.lookup("update-disseminator"),
+        ["unsubscribe", "subscriber_count"],
+    )
+    stub.unsubscribe(obi_id_of(rb), "B")
+    assert stub.subscriber_count(obi_id_of(rb)) == 0
+    ra = consumer_a.replicate("counter")
+    ra.increment()
+    consumer_a.put_back(ra)
+    assert rb.read() == 0
+
+
+def test_reads_are_always_local(epidemic):
+    world, _m, _a, consumer_b, _master = epidemic
+    sub_b = UpdateSubscriber(consumer_b)
+    rb = sub_b.track(consumer_b.replicate("counter"))
+    before = world.network.stats.total_messages
+    sub_b.read(rb)
+    assert world.network.stats.total_messages == before

@@ -1,0 +1,100 @@
+"""Tests for invalidation-based consistency."""
+
+import pytest
+
+from repro.consistency.base import ReadPolicy
+from repro.consistency.invalidation import InvalidationConsumer, InvalidationMaster
+from repro.core.meta import obi_id_of
+from repro.util.errors import StaleReplicaError
+
+
+@pytest.fixture
+def invalidation(trio):
+    world, master_site, consumer_a, consumer_b, master = trio
+    InvalidationMaster.export_on(master_site)
+    return world, master_site, consumer_a, consumer_b, master
+
+
+def test_writer_invalidates_other_holders(invalidation):
+    _w, _m, consumer_a, consumer_b, _master = invalidation
+    pa = InvalidationConsumer(consumer_a)
+    pb = InvalidationConsumer(consumer_b)
+    ra = pa.track(consumer_a.replicate("counter"))
+    rb = pb.track(consumer_b.replicate("counter"))
+    ra.increment()
+    pa.write_back(ra)
+    assert pb.is_stale(rb)
+    assert not pa.is_stale(ra)  # the writer stays fresh
+
+
+def test_refresh_policy_transparently_refreshes(invalidation):
+    _w, _m, consumer_a, consumer_b, master = invalidation
+    pa = InvalidationConsumer(consumer_a)
+    pb = InvalidationConsumer(consumer_b, policy=ReadPolicy.REFRESH)
+    ra = pa.track(consumer_a.replicate("counter"))
+    rb = pb.track(consumer_b.replicate("counter"))
+    ra.increment(8)
+    pa.write_back(ra)
+    fresh = pb.read(rb)
+    assert fresh.read() == 8
+    assert not pb.is_stale(rb)
+
+
+def test_raise_policy(invalidation):
+    _w, _m, consumer_a, consumer_b, _master = invalidation
+    pa = InvalidationConsumer(consumer_a)
+    pb = InvalidationConsumer(consumer_b, policy=ReadPolicy.RAISE)
+    ra = pa.track(consumer_a.replicate("counter"))
+    rb = pb.track(consumer_b.replicate("counter"))
+    ra.increment()
+    pa.write_back(ra)
+    with pytest.raises(StaleReplicaError):
+        pb.read(rb)
+
+
+def test_serve_stale_policy(invalidation):
+    _w, _m, consumer_a, consumer_b, _master = invalidation
+    pa = InvalidationConsumer(consumer_a)
+    pb = InvalidationConsumer(consumer_b, policy=ReadPolicy.SERVE_STALE)
+    ra = pa.track(consumer_a.replicate("counter"))
+    rb = pb.track(consumer_b.replicate("counter"))
+    ra.increment(3)
+    pa.write_back(ra)
+    assert pb.read(rb).read() == 0  # stale value, by choice
+
+
+def test_fresh_replica_reads_without_traffic(invalidation):
+    world, _m, consumer_a, _b, _master = invalidation
+    protocol = InvalidationConsumer(consumer_a)
+    replica = protocol.track(consumer_a.replicate("counter"))
+    before = world.network.stats.total_messages
+    protocol.read(replica)
+    assert world.network.stats.total_messages == before
+
+
+def test_offline_holder_misses_invalidation_but_stays_usable(invalidation):
+    world, _m, consumer_a, consumer_b, _master = invalidation
+    pa = InvalidationConsumer(consumer_a)
+    pb = InvalidationConsumer(consumer_b, policy=ReadPolicy.SERVE_STALE)
+    ra = pa.track(consumer_a.replicate("counter"))
+    rb = pb.track(consumer_b.replicate("counter"))
+    world.network.disconnect("B")
+    ra.increment()
+    pa.write_back(ra)  # B unreachable: fan-out must not fail the put
+    assert not pb.is_stale(rb)  # it never heard — bounded by reconnect
+    world.network.reconnect("B")
+    assert pb.read(rb).read() == 0
+
+
+def test_master_tracks_holders(invalidation):
+    _w, master_site, consumer_a, consumer_b, _master = invalidation
+    pa = InvalidationConsumer(consumer_a)
+    pb = InvalidationConsumer(consumer_b)
+    ra = pa.track(consumer_a.replicate("counter"))
+    pb.track(consumer_b.replicate("counter"))
+    stub = consumer_a.endpoint.stub(
+        consumer_a.naming.lookup("invalidation-master"), ["holders_of", "unsubscribe"]
+    )
+    assert stub.holders_of(obi_id_of(ra)) == ["A", "B"]
+    stub.unsubscribe(obi_id_of(ra), "B")
+    assert stub.holders_of(obi_id_of(ra)) == ["A"]

@@ -1,0 +1,75 @@
+"""Tests for lease-based consistency."""
+
+import pytest
+
+from repro.consistency.base import ReadPolicy
+from repro.consistency.lease import LeaseConsistency
+from repro.util.errors import StaleReplicaError
+
+
+def test_duration_must_be_positive(trio):
+    _w, _m, consumer_a, _b, _master = trio
+    with pytest.raises(ValueError):
+        LeaseConsistency(consumer_a, duration=0)
+
+
+def test_read_within_lease_is_local(trio):
+    world, _m, consumer_a, _b, _master = trio
+    lease = LeaseConsistency(consumer_a, duration=10.0)
+    replica = lease.track(consumer_a.replicate("counter"))
+    before = world.network.stats.total_messages
+    assert lease.read(replica) is replica
+    assert world.network.stats.total_messages == before
+    assert lease.remaining(replica) > 0
+
+
+def test_expired_lease_refreshes_and_renews(trio):
+    world, master_site, consumer_a, _b, master = trio
+    lease = LeaseConsistency(consumer_a, duration=0.5, policy=ReadPolicy.REFRESH)
+    replica = lease.track(consumer_a.replicate("counter"))
+    master.value = 77
+    master_site.touch(master)
+    world.clock.advance(1.0)
+    assert lease.remaining(replica) < 0
+    fresh = lease.read(replica)
+    assert fresh.read() == 77
+    assert lease.remaining(replica) > 0
+
+
+def test_expired_lease_raises_under_raise_policy(trio):
+    world, _m, consumer_a, _b, _master = trio
+    lease = LeaseConsistency(consumer_a, duration=0.1, policy=ReadPolicy.RAISE)
+    replica = lease.track(consumer_a.replicate("counter"))
+    world.clock.advance(0.2)
+    with pytest.raises(StaleReplicaError):
+        lease.read(replica)
+
+
+def test_serve_stale_policy_ignores_expiry(trio):
+    world, master_site, consumer_a, _b, master = trio
+    lease = LeaseConsistency(consumer_a, duration=0.1, policy=ReadPolicy.SERVE_STALE)
+    replica = lease.track(consumer_a.replicate("counter"))
+    master.value = 5
+    master_site.touch(master)
+    world.clock.advance(1.0)
+    assert lease.read(replica).read() == 0
+
+
+def test_write_back_renews_lease(trio):
+    world, _m, consumer_a, _b, master = trio
+    lease = LeaseConsistency(consumer_a, duration=1.0)
+    replica = lease.track(consumer_a.replicate("counter"))
+    world.clock.advance(2.0)
+    replica.increment()
+    lease.write_back(replica)
+    assert master.value == 1
+    assert lease.remaining(replica) > 0
+
+
+def test_never_leased_replica_counts_as_expired(trio):
+    _w, _m, consumer_a, _b, _master = trio
+    lease = LeaseConsistency(consumer_a, duration=1.0)
+    replica = consumer_a.replicate("counter")  # not tracked
+    assert lease.remaining(replica) == float("-inf")
+    fresh = lease.read(replica)  # REFRESH policy establishes a lease
+    assert lease.remaining(fresh) > 0

@@ -1,0 +1,55 @@
+"""Tests for manual consistency (the paper's default)."""
+
+from repro.consistency.manual import ManualConsistency
+
+
+def test_reads_serve_the_local_replica(trio):
+    world, master_site, consumer_a, _b, master = trio
+    protocol = ManualConsistency(consumer_a)
+    replica = consumer_a.replicate("counter")
+    master.value = 99
+    master_site.touch(master)
+    # Nothing implicit: the stale replica is what a read returns.
+    assert protocol.read(replica) is replica
+    assert replica.read() == 0
+
+
+def test_pull_refreshes(trio):
+    world, master_site, consumer_a, _b, master = trio
+    protocol = ManualConsistency(consumer_a)
+    replica = consumer_a.replicate("counter")
+    master.value = 42
+    master_site.touch(master)
+    protocol.pull(replica)
+    assert replica.read() == 42
+
+
+def test_push_updates_master(trio):
+    world, _m, consumer_a, _b, master = trio
+    protocol = ManualConsistency(consumer_a)
+    replica = consumer_a.replicate("counter")
+    replica.increment(7)
+    version = protocol.push(replica)
+    assert master.value == 7
+    assert version == 2
+
+
+def test_write_back_alone_does_not_push(trio):
+    world, _m, consumer_a, _b, master = trio
+    protocol = ManualConsistency(consumer_a)
+    replica = consumer_a.replicate("counter")
+    replica.increment()
+    protocol.write_back(replica)
+    assert master.value == 0  # only push() moves data
+
+
+def test_two_consumers_see_each_other_only_via_pull(trio):
+    world, _m, consumer_a, consumer_b, master = trio
+    pa, pb = ManualConsistency(consumer_a), ManualConsistency(consumer_b)
+    ra = consumer_a.replicate("counter")
+    rb = consumer_b.replicate("counter")
+    ra.increment(5)
+    pa.push(ra)
+    assert rb.read() == 0
+    pb.pull(rb)
+    assert rb.read() == 5

@@ -1,0 +1,159 @@
+"""Tests for version vectors: algebra (with hypothesis) and the protocol."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency.vector import VectorCoordinator, VectorReplica, VersionVector
+from repro.util.errors import ConsistencyError
+
+# ----------------------------------------------------------------------
+# algebra
+# ----------------------------------------------------------------------
+sites = st.sampled_from(["s1", "s2", "s3", "s4"])
+vectors = st.dictionaries(sites, st.integers(min_value=0, max_value=20)).map(VersionVector)
+
+
+class TestAlgebra:
+    def test_empty_vector_included_in_everything(self):
+        assert VersionVector({"a": 1}).includes(VersionVector())
+
+    def test_includes_is_pointwise(self):
+        big = VersionVector({"a": 2, "b": 1})
+        small = VersionVector({"a": 1})
+        assert big.includes(small)
+        assert not small.includes(big)
+
+    def test_concurrency(self):
+        a = VersionVector({"x": 1})
+        b = VersionVector({"y": 1})
+        assert a.concurrent_with(b)
+        assert not a.concurrent_with(a)
+
+    def test_bump(self):
+        v = VersionVector()
+        v.bump("s")
+        v.bump("s")
+        assert v.counters == {"s": 2}
+
+    def test_zero_entries_do_not_matter_for_equality(self):
+        assert VersionVector({"a": 0}) == VersionVector()
+
+    @given(vectors, vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_merge_is_upper_bound(self, a, b):
+        merged = a.merge(b)
+        assert merged.includes(a)
+        assert merged.includes(b)
+
+    @given(vectors, vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_merge_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @given(vectors, vectors, vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_associative(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @given(vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_idempotent(self, a):
+        assert a.merge(a) == a
+
+    @given(vectors, vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_order_trichotomy(self, a, b):
+        relations = [a.includes(b), b.includes(a), a.concurrent_with(b)]
+        assert any(relations)
+        if a.concurrent_with(b):
+            assert not a.includes(b) and not b.includes(a)
+
+    @given(vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_wire_roundtrip(self, a):
+        from repro.serial.decoder import Decoder
+        from repro.serial.encoder import Encoder
+
+        assert Decoder().decode(Encoder().encode(a)) == a
+
+
+# ----------------------------------------------------------------------
+# the protocol
+# ----------------------------------------------------------------------
+@pytest.fixture
+def vector_setup(trio):
+    world, master_site, consumer_a, consumer_b, master = trio
+    VectorCoordinator.export_on(master_site)
+    return world, master_site, consumer_a, consumer_b, master
+
+
+class TestProtocol:
+    def test_tracked_write_applies_and_advances_vector(self, vector_setup):
+        _w, _m, consumer_a, _b, master = vector_setup
+        protocol = VectorReplica(consumer_a)
+        replica = protocol.track(consumer_a.replicate("counter"))
+        replica.increment(4)
+        protocol.write_back(replica)
+        assert master.value == 4
+        assert protocol.base_vector(replica).counters.get("A") == 1
+
+    def test_untracked_write_rejected(self, vector_setup):
+        _w, _m, consumer_a, _b, _master = vector_setup
+        protocol = VectorReplica(consumer_a)
+        replica = consumer_a.replicate("counter")
+        with pytest.raises(ConsistencyError, match="not tracked"):
+            protocol.write_back(replica)
+
+    def test_concurrent_write_conflicts_without_resolver(self, vector_setup):
+        _w, _m, consumer_a, consumer_b, master = vector_setup
+        pa = VectorReplica(consumer_a)
+        pb = VectorReplica(consumer_b)
+        ra = pa.track(consumer_a.replicate("counter"))
+        rb = pb.track(consumer_b.replicate("counter"))
+        ra.increment(1)
+        pa.write_back(ra)
+        rb.increment(2)
+        with pytest.raises(ConsistencyError, match="concurrent"):
+            pb.write_back(rb)
+        assert master.value == 1  # the losing write never landed
+
+    def test_resolver_merges_and_retries(self, vector_setup):
+        _w, _m, consumer_a, consumer_b, master = vector_setup
+
+        def add_both(replica, fresh_state):
+            replica.value = replica.value + fresh_state["value"]
+
+        pa = VectorReplica(consumer_a)
+        pb = VectorReplica(consumer_b, resolver=add_both)
+        ra = pa.track(consumer_a.replicate("counter"))
+        rb = pb.track(consumer_b.replicate("counter"))
+        ra.increment(10)
+        pa.write_back(ra)
+        rb.increment(5)
+        pb.write_back(rb)  # conflict -> merge(5, 10) = 15 -> retry
+        assert master.value == 15
+
+    def test_sequential_writes_never_conflict(self, vector_setup):
+        _w, _m, consumer_a, _b, master = vector_setup
+        protocol = VectorReplica(consumer_a)
+        replica = protocol.track(consumer_a.replicate("counter"))
+        for expected in (1, 2, 3):
+            replica.increment()
+            protocol.write_back(replica)
+        assert master.value == 3
+
+    def test_fresh_state_exposes_master_state_and_vector(self, vector_setup):
+        _w, master_site, consumer_a, _b, master = vector_setup
+        protocol = VectorReplica(consumer_a)
+        replica = protocol.track(consumer_a.replicate("counter"))
+        replica.increment(9)
+        protocol.write_back(replica)
+        from repro.core.meta import obi_id_of
+
+        stub = consumer_a.endpoint.stub(
+            consumer_a.naming.lookup("vector-coordinator"), ["fresh_state"]
+        )
+        fresh = stub.fresh_state(obi_id_of(replica))
+        assert fresh["state"]["value"] == 9
+        assert fresh["vector"].counters.get("A") == 1

@@ -1,0 +1,110 @@
+"""Property-based convergence tests.
+
+For arbitrary interleavings of replica writes, put-backs and refreshes,
+the system must satisfy:
+
+* after ``put_back``, the master's state equals the replica's;
+* after ``refresh``, the replica's state equals the master's;
+* replicas on different sites never influence each other except through
+  the master;
+* chunk size never changes the *result* of a traversal, only its cost.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import CostModel
+from repro.core.interfaces import Cluster, Incremental, Transitive
+from repro.core.runtime import World
+from tests.models import Counter, chain_indices, make_chain
+
+# One writer interleaving: each step is (site index, operation).
+operations = st.lists(
+    st.tuples(st.integers(0, 1), st.sampled_from(["write", "put", "refresh"])),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(operations)
+@settings(max_examples=100, deadline=None)
+def test_put_refresh_convergence(ops):
+    with World.loopback(costs=CostModel.zero()) as world:
+        provider = world.create_site("P")
+        master = Counter(0)
+        provider.export(master, name="counter")
+        sites = [world.create_site("A"), world.create_site("B")]
+        replicas = [site.replicate("counter") for site in sites]
+        pending_writes = [0, 0]
+
+        for index, op in ops:
+            site, replica = sites[index], replicas[index]
+            if op == "write":
+                replica.increment()
+                pending_writes[index] += 1
+            elif op == "put":
+                site.put_back(replica)
+                # Master now exactly mirrors this replica.
+                assert master.value == replica.read()
+                pending_writes[index] = 0
+            else:  # refresh
+                site.refresh(replica)
+                assert replica.read() == master.value
+                pending_writes[index] = 0
+
+        # Final sync from both sides must reach a single fixed point.
+        for site, replica in zip(sites, replicas):
+            site.refresh(replica)
+            assert replica.read() == master.value
+
+
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=1, max_value=40),
+    st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_traversal_result_independent_of_mode(length, chunk, clustered):
+    """The paper's modes trade cost, never semantics."""
+    with World.loopback(costs=CostModel.zero()) as world:
+        provider = world.create_site("P")
+        consumer = world.create_site("C")
+        provider.export(make_chain(length), name="chain")
+        mode = Cluster(size=chunk) if clustered else Incremental(chunk)
+        head = consumer.replicate("chain", mode=mode)
+        assert chain_indices(head) == list(range(length))
+
+
+@given(st.integers(min_value=0, max_value=100), st.integers(min_value=0, max_value=100))
+@settings(max_examples=60, deadline=None)
+def test_replica_isolation_between_sites(a_writes, b_writes):
+    """Two consumers' local writes never leak into each other."""
+    with World.loopback(costs=CostModel.zero()) as world:
+        provider = world.create_site("P")
+        master = Counter(0)
+        provider.export(master, name="counter")
+        site_a, site_b = world.create_site("A"), world.create_site("B")
+        ra, rb = site_a.replicate("counter"), site_b.replicate("counter")
+        ra.increment(a_writes)
+        rb.increment(b_writes)
+        assert ra.read() == a_writes
+        assert rb.read() == b_writes
+        assert master.value == 0
+
+
+@given(st.lists(st.integers(1, 50), min_size=1, max_size=6))
+@settings(max_examples=50, deadline=None)
+def test_version_is_monotone_under_puts(increments):
+    with World.loopback(costs=CostModel.zero()) as world:
+        provider = world.create_site("P")
+        master = Counter(0)
+        provider.export(master, name="counter")
+        consumer = world.create_site("C")
+        replica = consumer.replicate("counter")
+        last_version = 1
+        for amount in increments:
+            replica.increment(amount)
+            version = consumer.put_back(replica)
+            assert version == last_version + 1
+            last_version = version
+        assert master.value == sum(increments)

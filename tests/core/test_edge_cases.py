@@ -1,0 +1,159 @@
+"""Edge cases across the core: self-replication, eviction mid-protocol,
+re-export, empty state, odd graph shapes."""
+
+import pytest
+
+from repro.core.interfaces import Cluster, Incremental, Transitive
+from repro.core.meta import obi_id_of
+from repro.core.proxy_out import ProxyOutBase
+from repro.util.errors import ClusterError, ReplicationError
+from tests.models import Box, Chain, Counter, Folder, make_chain
+
+
+class TestSelfReplication:
+    def test_replicating_own_master_returns_the_master(self, zsites):
+        """A site fetching an object it masters gets the master itself —
+        no replica-of-self, no copies."""
+        provider, _consumer = zsites
+        master = Counter(5)
+        ref = provider.export(master, name="self")
+        result = provider.replicate("self")
+        assert result is master
+        assert not provider.is_replica(obi_id_of(master))
+
+    def test_remote_stub_on_own_master_works(self, zsites):
+        provider, _consumer = zsites
+        master = Counter(5)
+        provider.export(master, name="own")
+        stub = provider.remote_stub("own")
+        assert stub.increment() == 6
+        assert master.value == 6
+
+
+class TestEvictionInteractions:
+    def test_cluster_member_evicted_then_cluster_put(self, zsites):
+        provider, consumer = zsites
+        provider.export(make_chain(6), name="chain")
+        root = consumer.replicate("chain", mode=Cluster(size=3))
+        member = root.next
+        consumer.evict(member)
+        versions = consumer.put_back_cluster(root)  # member silently absent
+        assert len(versions) == 2  # root + remaining member
+
+    def test_refetch_after_evict_is_a_fresh_object(self, zsites):
+        provider, consumer = zsites
+        master = Box("v1")
+        provider.export(master, name="box")
+        first = consumer.replicate("box")
+        consumer.evict(first)
+        master.value = "v2"
+        second = consumer.replicate("box")
+        assert second is not first
+        assert second.get() == "v2"
+        assert first.get() == "v1"  # evicted copy frozen in time
+
+
+class TestOddGraphShapes:
+    def test_self_loop_object(self, zsites):
+        provider, consumer = zsites
+        selfish = Box()
+        selfish.value = selfish
+        provider.export(selfish, name="loop")
+        replica = consumer.replicate("loop", mode=Transitive())
+        assert replica.value is replica
+
+    def test_object_referencing_master_and_replica_sides(self, zsites):
+        """An object whose container mixes plain data and OBIWAN refs."""
+        provider, consumer = zsites
+        folder = Folder("mixed")
+        folder.children = [1, "two", Box("three"), (Box("four"), 5)]
+        provider.export(folder, name="mixed")
+        replica = consumer.replicate("mixed", mode=Transitive())
+        assert replica.children[0] == 1
+        assert replica.children[2].get() == "three"
+        assert replica.children[3][0].get() == "four"
+        assert replica.children[3][1] == 5
+
+    def test_wide_fanout_chunking(self, zsites):
+        """BFS chunking on a star: root plus the first chunk-1 leaves."""
+        provider, consumer = zsites
+        hub = Folder("hub")
+        for index in range(10):
+            hub.add(f"k{index}", Box(index))
+        provider.export(hub, name="hub")
+        replica = consumer.replicate("hub", mode=Incremental(4))
+        materialized = [
+            child for child in replica.children if not isinstance(child, ProxyOutBase)
+        ]
+        proxies = [
+            child for child in replica.children if isinstance(child, ProxyOutBase)
+        ]
+        assert len(materialized) == 3  # root + 3 = 4 objects
+        assert len(proxies) == 7
+
+    def test_deep_chain_replication(self, zsites):
+        """A 2000-deep list crosses the serializer's recursion headroom
+        machinery without blowing the interpreter stack."""
+        provider, consumer = zsites
+        provider.export(make_chain(2000), name="deep")
+        head = consumer.replicate("deep", mode=Transitive())
+        count = 0
+        node = head
+        while node is not None:
+            count += 1
+            node = node.next
+        assert count == 2000
+
+
+class TestStateShapes:
+    def test_object_with_empty_state(self, zsites):
+        provider, consumer = zsites
+
+        from repro import obiwan
+
+        @obiwan.compile
+        class Stateless:
+            def ping(self):
+                return "pong"
+
+        provider.export(Stateless(), name="stateless")
+        replica = consumer.replicate("stateless")
+        assert replica.ping() == "pong"
+
+    def test_none_valued_fields_roundtrip(self, zsites):
+        provider, consumer = zsites
+        box = Box(None)
+        box.extra = None
+        provider.export(box, name="nones")
+        replica = consumer.replicate("nones")
+        assert replica.get() is None
+        assert replica.extra is None
+
+    def test_replica_field_added_after_replication_survives_put(self, zsites):
+        provider, consumer = zsites
+        master = Box("x")
+        provider.export(master, name="grow")
+        replica = consumer.replicate("grow")
+        replica.new_field = [1, 2, 3]  # schema growth at the consumer
+        consumer.put_back(replica)
+        assert master.new_field == [1, 2, 3]
+
+
+class TestModeEdges:
+    def test_chunk_larger_than_graph(self, zsites):
+        provider, consumer = zsites
+        provider.export(make_chain(3), name="short")
+        head = consumer.replicate("short", mode=Incremental(100))
+        node, count = head, 0
+        while node is not None:
+            count += 1
+            node = node.next
+        assert count == 3
+
+    def test_cluster_of_one_behaves_like_incremental_one(self, zsites):
+        provider, consumer = zsites
+        provider.export(make_chain(3), name="c1")
+        head = consumer.replicate("c1", mode=Cluster(size=1))
+        assert isinstance(head.next, ProxyOutBase)
+        info = consumer.replica_info(obi_id_of(head))
+        assert info.provider is not None  # the root is always updatable

@@ -1,0 +1,121 @@
+"""Tests for object-fault resolution and updateMember splicing."""
+
+import pytest
+
+from repro.core.faults import splice
+from repro.core.interfaces import Incremental
+from repro.core.proxy_out import ProxyOutBase
+from repro.util.errors import DisconnectedError
+from tests.models import Box, Chain, Folder, make_chain
+
+
+class TestSplice:
+    def _proxy_for(self, consumer, provider, target_name="t"):
+        provider.export(Box("target"), name=target_name)
+        holder = Folder("holder")
+        return holder
+
+    def test_splice_rewrites_all_demanders(self, zsites):
+        provider, consumer = zsites
+        shared = Box("shared-target")
+        left, right = Folder("left"), Folder("right")
+        left.add("s", shared)
+        right.add("s", shared)
+        root = Folder("root")
+        root.add("left", left)
+        root.add("right", right)
+        provider.export(root, name="root")
+
+        replica = consumer.replicate("root", mode=Incremental(3))  # root+left+right
+        left1, right1 = replica.child("left"), replica.child("right")
+        proxy = left1.child("s")
+        assert isinstance(proxy, ProxyOutBase)
+        assert right1.child("s") is proxy  # one proxy, two demanders
+
+        value = proxy.get()
+        assert value == "shared-target"
+        assert left1.child("s") is right1.child("s")
+        assert not isinstance(left1.child("s"), ProxyOutBase)
+
+    def test_splice_returns_rewrite_count(self):
+        from repro.core.interfaces import Interface
+        from repro.core.proxy_out import make_proxy_out_class
+        from repro.rmi.refs import RemoteRef
+
+        iface = Interface("ISpliceTest", ("m",))
+        proxy = make_proxy_out_class(iface)(
+            None, "t", RemoteRef("s", "o"), iface, Incremental(1)
+        )
+        holder_a, holder_b = Folder(), Folder()
+        holder_a.children = [proxy, proxy]
+        holder_b.index = {"k": proxy}
+        proxy._obi_add_demander(holder_a)
+        proxy._obi_add_demander(holder_b)
+        replacement = Box("real")
+        assert splice(proxy, replacement) == 3
+        assert holder_a.children == [replacement, replacement]
+        assert holder_b.index["k"] is replacement
+        assert proxy._obi_resolved is replacement
+        assert proxy._obi_demanders == []
+
+
+class TestResolution:
+    def test_local_short_circuit_avoids_network(self, zsites):
+        """If another path already replicated the target, a fault
+        resolves without any traffic."""
+        provider, consumer = zsites
+        b = Box("b")
+        holder1, holder2 = Folder("h1"), Folder("h2")
+        holder1.add("b", b)
+        holder2.add("b", b)
+        provider.export(holder1, name="h1")
+        provider.export(holder2, name="h2")
+
+        r1 = consumer.replicate("h1", mode=Incremental(0, depth=1))  # brings b
+        r2 = consumer.replicate("h2", mode=Incremental(1))  # b is a proxy...
+        target = r2.child("b")
+        # ...which the unswizzler already resolved to the local replica:
+        assert not isinstance(target, ProxyOutBase)
+        assert target is r1.child("b")
+
+    def test_fault_while_disconnected_raises_disconnected(self, zsites):
+        provider, consumer = zsites
+        provider.export(make_chain(4), name="chain")
+        head = consumer.replicate("chain", mode=Incremental(1))
+        consumer.world.network.disconnect(consumer.name, voluntary=True)
+        proxy = head.next
+        with pytest.raises(DisconnectedError) as info:
+            proxy.get_index()
+        assert info.value.voluntary is True
+        # Reconnect: the same proxy now resolves.
+        consumer.world.network.reconnect(consumer.name)
+        assert proxy.get_index() == 1
+
+    def test_resolve_is_idempotent(self, zsites):
+        provider, consumer = zsites
+        provider.export(make_chain(3), name="chain")
+        head = consumer.replicate("chain")
+        proxy = head.next
+        first = consumer.resolve_fault(proxy)
+        second = consumer.resolve_fault(proxy)
+        assert first is second
+        assert consumer.gc_stats.faults_resolved == 1
+
+    def test_aliased_stale_proxy_forwards_after_resolution(self, zsites):
+        provider, consumer = zsites
+        provider.export(make_chain(3), name="chain")
+        head = consumer.replicate("chain")
+        stale_alias = head.next  # keep the proxy beyond the splice
+        head.next.get_index()  # resolve + splice
+        assert stale_alias.get_index() == 1  # forwards, no second fault
+        assert consumer.gc_stats.faults_resolved == 1
+
+    def test_fault_resolved_event_published(self, zsites):
+        provider, consumer = zsites
+        provider.export(make_chain(2), name="chain")
+        events = []
+        consumer.events.subscribe("fault_resolved", lambda **kw: events.append(kw))
+        head = consumer.replicate("chain")
+        head.next.get_index()
+        assert len(events) == 1
+        assert events[0]["replica"].get_index() == 1

@@ -1,0 +1,156 @@
+"""Tests for graph traversal and reference surgery."""
+
+from repro.core.graphwalk import (
+    breadth_first,
+    direct_references,
+    frontier_of,
+    replace_references,
+)
+from tests.models import Box, Chain, Folder, make_chain
+
+
+class TestDirectReferences:
+    def test_plain_attribute_reference(self):
+        a, b = Box(), Box()
+        a.value = b
+        assert list(direct_references(a)) == [b]
+
+    def test_references_inside_containers(self):
+        folder = Folder("root")
+        children = [Box(), Box(), Box()]
+        folder.add("a", children[0])
+        folder.add("b", children[1])
+        folder.tags = {"x"}
+        folder.extra = {"deep": [(children[2],)]}
+        found = list(direct_references(folder))
+        for child in children:
+            # index + children double-count a & b; presence is what matters
+            assert any(ref is child for ref in found)
+
+    def test_non_obiwan_values_ignored(self):
+        box = Box()
+        box.value = [1, "two", {"three": 3.0}]
+        assert list(direct_references(box)) == []
+
+    def test_dict_keys_are_scanned(self):
+        box = Box()
+        key = Box()
+        box.value = {key: "v"}
+        assert list(direct_references(box)) == [key]
+
+
+class TestBreadthFirst:
+    def test_unbounded_collects_everything_once(self):
+        head = make_chain(5)
+        members = breadth_first(head)
+        assert len(members) == 5
+        assert members[0] is head
+
+    def test_max_objects_bound(self):
+        head = make_chain(10)
+        members = breadth_first(head, max_objects=3)
+        assert [m.index for m in members] == [0, 1, 2]
+
+    def test_max_depth_bound(self):
+        head = make_chain(10)
+        members = breadth_first(head, max_depth=2)
+        assert [m.index for m in members] == [0, 1, 2]  # depth 0,1,2
+
+    def test_cycle_terminates(self):
+        a, b = Chain(0), Chain(1)
+        a.next, b.next = b, a
+        assert len(breadth_first(a)) == 2
+
+    def test_diamond_counted_once(self):
+        top, left, right, bottom = Box(), Box(), Box(), Box()
+        top.value = [left, right]
+        left.value = bottom
+        right.value = bottom
+        assert len(breadth_first(top)) == 4
+
+    def test_bfs_order_is_level_order(self):
+        root = Folder("root")
+        level1 = [Box(1), Box(2)]
+        root.add("a", level1[0])
+        root.add("b", level1[1])
+        level1[0].value = Box(3)
+        members = breadth_first(root)
+        assert members[0] is root
+        assert set(map(id, members[1:3])) == set(map(id, level1))
+
+
+class TestFrontier:
+    def test_frontier_edges(self):
+        head = make_chain(4)
+        members = breadth_first(head, max_objects=2)
+        edges = frontier_of(members)
+        assert len(edges) == 1
+        holder, target = edges[0]
+        assert holder.index == 1
+        assert target.index == 2
+
+    def test_no_frontier_for_closed_set(self):
+        head = make_chain(3)
+        assert frontier_of(breadth_first(head)) == []
+
+
+class TestReplaceReferences:
+    def test_replace_attribute(self):
+        a, old, new = Box(), Box("old"), Box("new")
+        a.value = old
+        assert replace_references(a, {id(old): new}) == 1
+        assert a.value is new
+
+    def test_replace_in_list_and_dict(self):
+        folder = Folder()
+        old, new = Box(), Box()
+        folder.add("k", old)
+        count = replace_references(folder, {id(old): new})
+        assert count == 2  # children list + index dict
+        assert folder.children[0] is new
+        assert folder.index["k"] is new
+
+    def test_replace_inside_tuple_rebuilds(self):
+        a = Box()
+        old, new = Box(), Box()
+        a.value = (1, (old, 2))
+        replace_references(a, {id(old): new})
+        assert a.value == (1, (new, 2))
+        assert a.value[1][0] is new
+
+    def test_replace_dict_key(self):
+        a = Box()
+        old, new = Box(), Box()
+        a.value = {old: "payload"}
+        replace_references(a, {id(old): new})
+        assert a.value == {new: "payload"}
+
+    def test_replace_in_set(self):
+        a = Box()
+        old, new = Box(), Box()
+        a.value = {old}
+        replace_references(a, {id(old): new})
+        assert a.value == {new}
+
+    def test_replace_in_frozenset_rebuilds(self):
+        a = Box()
+        old, new = Box(), Box()
+        a.value = frozenset({old, "other"})
+        replace_references(a, {id(old): new})
+        assert new in a.value
+        assert old not in a.value
+
+    def test_untouched_values_not_rewritten(self):
+        a = Box()
+        keep = [1, 2, 3]
+        a.value = keep
+        assert replace_references(a, {id(Box()): Box()}) == 0
+        assert a.value is keep
+
+    def test_multiple_replacements_single_pass(self):
+        a = Folder()
+        old1, old2, new1, new2 = Box(), Box(), Box(), Box()
+        a.children = [old1, old2, old1]
+        count = replace_references(a, {id(old1): new1, id(old2): new2})
+        assert count == 3
+        assert a.children == [new1, new2, new1]

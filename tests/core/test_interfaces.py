@@ -1,0 +1,88 @@
+"""Tests for interfaces and replication modes."""
+
+import pytest
+
+from repro.core.interfaces import (
+    UNBOUNDED,
+    Cluster,
+    Incremental,
+    Interface,
+    ReplicationMode,
+    Transitive,
+)
+from repro.serial.decoder import Decoder
+from repro.serial.encoder import Encoder
+from repro.util.errors import ClusterError
+
+
+class TestInterface:
+    def test_contains_and_iter(self):
+        iface = Interface("IThing", ("get", "set"))
+        assert "get" in iface
+        assert "other" not in iface
+        assert list(iface) == ["get", "set"]
+
+    def test_crosses_the_wire(self):
+        iface = Interface("IThing", ("a", "b"))
+        result = Decoder().decode(Encoder().encode(iface))
+        assert result == iface
+
+
+class TestModeConstructors:
+    def test_incremental_defaults(self):
+        mode = Incremental()
+        assert mode.chunk == 1
+        assert not mode.clustered
+
+    def test_incremental_with_chunk(self):
+        assert Incremental(50).chunk == 50
+
+    def test_incremental_unbounded_rejected(self):
+        with pytest.raises(ClusterError):
+            Incremental(UNBOUNDED)
+
+    def test_incremental_depth_only_is_allowed(self):
+        mode = Incremental(UNBOUNDED, depth=3)
+        assert mode.depth == 3
+
+    def test_transitive_is_unbounded_per_object(self):
+        mode = Transitive()
+        assert mode.unbounded
+        assert not mode.clustered
+
+    def test_cluster_by_size(self):
+        mode = Cluster(size=100)
+        assert mode.clustered
+        assert mode.chunk == 100
+
+    def test_cluster_by_depth(self):
+        mode = Cluster(depth=2)
+        assert mode.clustered
+        assert mode.depth == 2
+
+    def test_whole_graph_cluster(self):
+        assert Cluster().unbounded
+
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(ClusterError):
+            ReplicationMode(chunk=-1)
+        with pytest.raises(ClusterError):
+            ReplicationMode(depth=-2)
+
+
+class TestModeBehaviour:
+    def test_describe_mentions_scope_and_style(self):
+        assert "10 objects" in Incremental(10).describe()
+        assert "clustered" in Cluster(size=5).describe()
+        assert "whole graph" in Transitive().describe()
+
+    def test_mode_crosses_the_wire(self):
+        for mode in (Incremental(7), Transitive(), Cluster(size=3, depth=2)):
+            result = Decoder().decode(Encoder().encode(mode))
+            assert result == mode
+            assert isinstance(result.chunk, int)
+
+    def test_modes_are_immutable(self):
+        mode = Incremental(5)
+        with pytest.raises(AttributeError):
+            mode.chunk = 9  # type: ignore[misc]

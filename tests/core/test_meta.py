@@ -1,0 +1,115 @@
+"""Tests for object identity and the compiled-class registry."""
+
+import pytest
+
+from repro import obiwan
+from repro.core.meta import (
+    CompiledClassRegistry,
+    CompiledEntry,
+    compiled_registry,
+    interface_of,
+    is_compiled_class,
+    is_obiwan,
+    obi_id_of,
+    peek_obi_id,
+)
+from repro.core.interfaces import Interface
+from repro.core.proxy_out import make_proxy_out_class
+from repro.util.errors import ReplicationError
+from tests.models import Box, Chain
+
+
+class Plain:
+    def method(self):
+        return 1
+
+
+class TestIdentity:
+    def test_compiled_instances_are_obiwan(self):
+        assert is_obiwan(Box())
+        assert is_compiled_class(Box)
+
+    def test_plain_instances_are_not(self):
+        assert not is_obiwan(Plain())
+        assert not is_obiwan(42)
+        assert not is_obiwan("text")
+
+    def test_obi_id_is_stable(self):
+        box = Box()
+        assert obi_id_of(box) == obi_id_of(box)
+
+    def test_obi_ids_are_unique_per_object(self):
+        assert obi_id_of(Box()) != obi_id_of(Box())
+
+    def test_obi_id_lives_in_instance_dict(self):
+        box = Box()
+        oid = obi_id_of(box)
+        assert vars(box)["_obi_id"] == oid
+
+    def test_peek_does_not_assign(self):
+        box = Box()
+        assert peek_obi_id(box) is None
+        obi_id_of(box)
+        assert peek_obi_id(box) is not None
+
+    def test_obi_id_of_plain_object_fails(self):
+        with pytest.raises(ReplicationError):
+            obi_id_of(Plain())
+
+    def test_proxy_outs_are_not_obiwan_objects(self):
+        proxy_cls = make_proxy_out_class(Interface("IBoxLike", ("get",)))
+        proxy = proxy_cls.__new__(proxy_cls)
+        assert not is_obiwan(proxy)
+
+
+class TestInterfaceOf:
+    def test_interface_of_class_and_instance_agree(self):
+        assert interface_of(Box) is interface_of(Box())
+
+    def test_interface_contents(self):
+        iface = interface_of(Chain)
+        assert iface.name == "IChain"
+        assert "get_next" in iface
+        assert "set_index" in iface
+
+    def test_interface_of_uncompiled_fails(self):
+        with pytest.raises(ReplicationError, match="obicomp"):
+            interface_of(Plain)
+
+    def test_subclass_inherits_interface(self):
+        class SubBox(Box):
+            pass
+
+        assert interface_of(SubBox) is interface_of(Box)
+
+
+class TestCompiledRegistry:
+    def test_global_registry_knows_models(self):
+        assert "IBox" in compiled_registry
+        entry = compiled_registry.by_interface("IBox")
+        assert entry.cls is Box
+
+    def test_unknown_interface_fails_with_hint(self):
+        with pytest.raises(ReplicationError, match="obicomp output"):
+            compiled_registry.by_interface("INeverCompiled")
+
+    def test_conflicting_interface_name_rejected(self):
+        registry = CompiledClassRegistry()
+        iface = Interface("IDup", ("m",))
+        proxy_cls = make_proxy_out_class(iface)
+        registry.add(CompiledEntry(Plain, iface, proxy_cls))
+
+        class Another:
+            def m(self):
+                return 2
+
+        with pytest.raises(ReplicationError):
+            registry.add(CompiledEntry(Another, iface, proxy_cls))
+
+    def test_readd_same_class_is_fine(self):
+        registry = CompiledClassRegistry()
+        iface = Interface("IAgain", ("m",))
+        entry = CompiledEntry(Plain, iface, make_proxy_out_class(iface))
+        registry.add(entry)
+        registry.add(entry)
+        assert len(registry) == 1

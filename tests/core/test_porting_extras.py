@@ -1,0 +1,116 @@
+"""Tests for port_module and emit_package (batch obicomp tooling)."""
+
+import types
+
+from repro.core.meta import interface_of, is_compiled_class
+from repro.core.obicomp import emit_package, port_module
+from repro.core.proxy_in import ProxyIn
+from repro.core.proxy_out import ProxyOutBase
+
+
+def _make_module(name: str, **classes: type) -> types.ModuleType:
+    module = types.ModuleType(name)
+    for cls_name, cls in classes.items():
+        cls.__module__ = name
+        cls.__qualname__ = cls_name
+        setattr(module, cls_name, cls)
+    return module
+
+
+class TestPortModule:
+    def test_ports_all_eligible_classes(self):
+        class PmInvoice:
+            def total(self):
+                return 0
+
+        class PmCustomer:
+            def name_of(self):
+                return ""
+
+        module = _make_module("legacy_app_one", PmInvoice=PmInvoice, PmCustomer=PmCustomer)
+        ported = port_module(module)
+        assert {cls.__name__ for cls in ported} == {"PmInvoice", "PmCustomer"}
+        assert all(is_compiled_class(cls) for cls in ported)
+
+    def test_skips_named_and_ineligible_classes(self):
+        class PmPorted:
+            def work(self):
+                pass
+
+        class PmSkipped:
+            def work(self):
+                pass
+
+        class PmNoMethods:
+            pass
+
+        class PmSlotted:
+            __slots__ = ("x",)
+
+            def work(self):
+                pass
+
+        module = _make_module(
+            "legacy_app_two",
+            PmPorted=PmPorted,
+            PmSkipped=PmSkipped,
+            PmNoMethods=PmNoMethods,
+            PmSlotted=PmSlotted,
+        )
+        ported = port_module(module, skip=frozenset({"PmSkipped"}))
+        assert [cls.__name__ for cls in ported] == ["PmPorted"]
+        assert not is_compiled_class(PmSkipped)
+        assert not is_compiled_class(PmNoMethods)
+
+    def test_imported_classes_not_ported(self):
+        from tests.models import Box  # defined elsewhere
+
+        class PmOwn:
+            def act(self):
+                pass
+
+        module = _make_module("legacy_app_three", PmOwn=PmOwn)
+        module.Box = Box  # imported, module name differs
+        ported = port_module(module)
+        assert [cls.__name__ for cls in ported] == ["PmOwn"]
+
+    def test_port_module_is_idempotent(self):
+        class PmOnce:
+            def act(self):
+                pass
+
+        module = _make_module("legacy_app_four", PmOnce=PmOnce)
+        assert len(port_module(module)) == 1
+        assert port_module(module) == []  # already compiled
+
+
+class TestEmitPackage:
+    def test_writes_one_module_per_class(self, tmp_path):
+        from tests.models import Box, Chain
+
+        paths = emit_package([Box, Chain], tmp_path)
+        assert sorted(p.name for p in paths) == [
+            "box_obiwan.py",
+            "chain_obiwan.py",
+        ]
+        for path in paths:
+            namespace: dict = {
+                "ProxyOutBase": ProxyOutBase,
+                "ProxyIn": ProxyIn,
+            }
+            exec(compile(path.read_text(), str(path), "exec"), namespace)
+
+    def test_emitted_files_reflect_interfaces(self, tmp_path):
+        from tests.models import Counter
+
+        (path,) = emit_package([Counter], tmp_path)
+        text = path.read_text()
+        for method in interface_of(Counter).methods:
+            assert f"def {method}" in text
+
+    def test_creates_directory(self, tmp_path):
+        from tests.models import Box
+
+        nested = tmp_path / "gen" / "deep"
+        emit_package([Box], nested)
+        assert nested.exists()

@@ -1,0 +1,78 @@
+"""Direct tests for the proxy-in (provider-side half of the pair)."""
+
+import pytest
+
+from repro.core.interfaces import Cluster, Incremental
+from repro.core.meta import obi_id_of
+from repro.core.packages import ReplicaPackage
+from repro.core.proxy_in import PROXY_IN_CONTROL_METHODS, ProxyIn
+from tests.models import Counter
+
+
+@pytest.fixture
+def exported(zsites):
+    provider, consumer = zsites
+    master = Counter(5)
+    ref = provider.export(master, name="counter")
+    proxy_in = provider.endpoint.objects.get(ref.object_id)
+    return provider, consumer, master, ref, proxy_in
+
+
+class TestControlInterface:
+    def test_control_methods_exist(self, exported):
+        _p, _c, _m, _ref, proxy_in = exported
+        for method in PROXY_IN_CONTROL_METHODS:
+            assert callable(getattr(proxy_in, method))
+
+    def test_get_builds_a_package(self, exported):
+        _p, _c, master, _ref, proxy_in = exported
+        package = proxy_in.get(Incremental(1))
+        assert isinstance(package, ReplicaPackage)
+        assert package.root_id == obi_id_of(master)
+        assert package.object_count == 1
+
+    def test_get_default_mode_is_incremental_one(self, exported):
+        _p, _c, _m, _ref, proxy_in = exported
+        package = proxy_in.get()
+        assert package.mode.chunk == 1
+        assert not package.mode.clustered
+
+    def test_demand_equals_get(self, exported):
+        _p, _c, _m, _ref, proxy_in = exported
+        a = proxy_in.get(Cluster(size=2))
+        b = proxy_in.demand(Cluster(size=2))
+        assert a.root_id == b.root_id
+        assert a.mode == b.mode
+
+    def test_get_version_tracks_master(self, exported):
+        provider, _c, master, _ref, proxy_in = exported
+        assert proxy_in.get_version() == 1
+        provider.touch(master)
+        assert proxy_in.get_version() == 2
+
+
+class TestForwarding:
+    def test_interface_methods_forward_to_master(self, exported):
+        _p, _c, master, _ref, proxy_in = exported
+        assert proxy_in.read() == 5
+        proxy_in.increment(2)
+        assert master.value == 7
+
+    def test_private_names_raise_attribute_error(self, exported):
+        _p, _c, _m, _ref, proxy_in = exported
+        with pytest.raises(AttributeError):
+            proxy_in._not_forwarded
+
+    def test_non_callable_attributes_not_exposed(self, exported):
+        _p, _c, _m, _ref, proxy_in = exported
+        with pytest.raises(AttributeError, match="method-only"):
+            proxy_in.value  # a field, not a method
+
+    def test_missing_names_raise(self, exported):
+        _p, _c, _m, _ref, proxy_in = exported
+        with pytest.raises(AttributeError):
+            proxy_in.no_such_method()
+
+    def test_repr(self, exported):
+        _p, _c, _m, _ref, proxy_in = exported
+        assert "Counter" in repr(proxy_in)

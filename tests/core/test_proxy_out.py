@@ -1,0 +1,131 @@
+"""Tests for proxy-out behaviour: faulting, encapsulation, identity."""
+
+import copy
+
+import pytest
+
+from repro.core.interfaces import Incremental, Interface
+from repro.core.proxy_out import ProxyOutBase, make_proxy_out_class
+from repro.rmi.refs import RemoteRef
+from repro.util.errors import EncapsulationError, ObjectFaultError
+
+IFACE = Interface("IWidget", ("spin", "stop"))
+REF = RemoteRef("s2", "obj:1", "IWidget")
+
+
+class FakeSite:
+    """Resolves every fault to a canned target."""
+
+    def __init__(self, target):
+        self.target = target
+        self.faults = 0
+
+    def resolve_fault(self, proxy):
+        self.faults += 1
+        proxy._obi_resolved = self.target
+        return self.target
+
+
+class Widget:
+    def __init__(self):
+        self.spins = 0
+
+    def spin(self, times=1):
+        self.spins += times
+        return self.spins
+
+    def stop(self):
+        return "stopped"
+
+
+def make_proxy(site=None):
+    cls = make_proxy_out_class(IFACE)
+    return cls(site, "obj:1", REF, IFACE, Incremental(1))
+
+
+class TestClassGeneration:
+    def test_generated_class_has_interface_methods(self):
+        cls = make_proxy_out_class(IFACE)
+        assert hasattr(cls, "spin") and hasattr(cls, "stop")
+        assert issubclass(cls, ProxyOutBase)
+
+    def test_class_name_derived_from_interface(self):
+        assert make_proxy_out_class(IFACE).__name__ == "WidgetProxyOut"
+
+
+class TestFaulting:
+    def test_method_call_triggers_fault_and_forwards(self):
+        widget = Widget()
+        site = FakeSite(widget)
+        proxy = make_proxy(site)
+        assert proxy.spin(3) == 3
+        assert site.faults == 1
+        assert widget.spins == 3
+
+    def test_second_call_uses_resolution(self):
+        widget = Widget()
+        site = FakeSite(widget)
+        proxy = make_proxy(site)
+        proxy.spin()
+        proxy.spin()
+        assert site.faults == 1  # resolved once
+
+    def test_unattached_proxy_raises_object_fault(self):
+        proxy = make_proxy(site=None)
+        with pytest.raises(ObjectFaultError):
+            proxy.spin()
+
+    def test_kwargs_forwarded(self):
+        widget = Widget()
+        proxy = make_proxy(FakeSite(widget))
+        proxy.spin(times=5)
+        assert widget.spins == 5
+
+
+class TestEncapsulation:
+    def test_reading_state_raises(self):
+        proxy = make_proxy()
+        with pytest.raises(EncapsulationError, match="interface methods"):
+            _ = proxy.spins
+
+    def test_writing_state_raises(self):
+        proxy = make_proxy()
+        with pytest.raises(EncapsulationError):
+            proxy.spins = 7
+
+    def test_internal_attributes_still_work(self):
+        proxy = make_proxy()
+        assert proxy._obi_target_id == "obj:1"
+        proxy._obi_resolved = "x"
+        assert proxy._obi_resolved == "x"
+
+    def test_dunder_lookup_raises_attribute_error(self):
+        # Protocol probes (copy, pickle) must see AttributeError, not
+        # EncapsulationError, so standard library machinery keeps working.
+        proxy = make_proxy()
+        with pytest.raises(AttributeError):
+            _ = proxy.__deepcopy__
+        copy.copy(proxy)  # must not explode
+
+
+class TestDemanders:
+    def test_add_demander_deduplicates_by_identity(self):
+        proxy = make_proxy()
+        holder = Widget()
+        proxy._obi_add_demander(holder)
+        proxy._obi_add_demander(holder)
+        assert len(proxy._obi_demanders) == 1
+
+    def test_equal_but_distinct_holders_both_tracked(self):
+        proxy = make_proxy()
+        proxy._obi_add_demander([1])
+        proxy._obi_add_demander([1])  # equal lists, different identity
+        assert len(proxy._obi_demanders) == 2
+
+
+class TestRepr:
+    def test_repr_shows_resolution_state(self):
+        proxy = make_proxy()
+        assert "unresolved" in repr(proxy)
+        proxy._obi_resolved = Widget()
+        assert "unresolved" not in repr(proxy)

@@ -1,0 +1,155 @@
+"""Property-based tests of replication invariants (hypothesis).
+
+For arbitrary directed graphs (including cycles, diamonds and
+self-loops) and arbitrary replication modes, the engine must preserve:
+
+1. the graph's *shape* — a canonical DFS signature of the replica equals
+   the master's;
+2. *aliasing* — one master node maps to exactly one replica object, no
+   matter how many paths reach it;
+3. *isolation* — masters are untouched by replication and traversal;
+4. *identity* — every replica shares its master's logical id.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import CostModel
+from repro.core.interfaces import Cluster, Incremental, Transitive
+from repro.core.meta import obi_id_of
+from repro.core.proxy_out import ProxyOutBase
+from repro.core.runtime import World
+from tests.models import GraphNode
+
+
+# ----------------------------------------------------------------------
+# graph generation
+# ----------------------------------------------------------------------
+@st.composite
+def graph_specs(draw):
+    """(values, edges): node values plus directed edges i -> j."""
+    count = draw(st.integers(min_value=1, max_value=8))
+    values = draw(
+        st.lists(st.integers(0, 1000), min_size=count, max_size=count)
+    )
+    nodes = st.integers(0, count - 1)
+    edges = draw(st.lists(st.tuples(nodes, nodes), max_size=16))
+    return values, edges
+
+
+def build_graph(values: list[int], edges: list[tuple[int, int]]) -> list[GraphNode]:
+    nodes = [GraphNode(value) for value in values]
+    for src, dst in edges:
+        nodes[src].link(nodes[dst])
+    return nodes
+
+
+modes = st.one_of(
+    st.integers(1, 5).map(Incremental),
+    st.just(Transitive()),
+    st.integers(1, 5).map(lambda n: Cluster(size=n)),
+    st.just(Cluster()),
+)
+
+
+# ----------------------------------------------------------------------
+# canonical signatures
+# ----------------------------------------------------------------------
+def resolve(node: object) -> object:
+    if isinstance(node, ProxyOutBase):
+        if node._obi_resolved is None:
+            node.get_value()  # fault
+        return node._obi_resolved
+    return node
+
+
+def signature(root: object) -> list:
+    """Canonical DFS rendering: (index, value, child indices)."""
+    order: dict[int, int] = {}
+    out: list = []
+
+    def visit(node: object) -> int:
+        node = resolve(node)
+        key = id(node)
+        if key in order:
+            return order[key]
+        index = len(order)
+        order[key] = index
+        entry = [index, node.get_value(), []]
+        out.append(entry)
+        for child in node.get_refs():
+            entry[2].append(visit(child))
+        return index
+
+    visit(root)
+    return out
+
+
+# ----------------------------------------------------------------------
+# the properties
+# ----------------------------------------------------------------------
+@given(graph_specs(), modes)
+@settings(max_examples=120, deadline=None)
+def test_replication_preserves_graph_shape(spec, mode):
+    values, edges = spec
+    with World.loopback(costs=CostModel.zero()) as world:
+        provider = world.create_site("P")
+        consumer = world.create_site("C")
+        nodes = build_graph(values, edges)
+        root = nodes[0]
+        master_signature = signature(root)
+
+        provider.export(root, name="g")
+        replica = consumer.replicate("g", mode=mode)
+
+        assert signature(replica) == master_signature
+        # Masters untouched by the whole exercise.
+        assert signature(root) == master_signature
+        assert [n.value for n in nodes] == values
+
+
+@given(graph_specs(), modes)
+@settings(max_examples=80, deadline=None)
+def test_aliasing_one_replica_per_master(spec, mode):
+    values, edges = spec
+    with World.loopback(costs=CostModel.zero()) as world:
+        provider = world.create_site("P")
+        consumer = world.create_site("C")
+        nodes = build_graph(values, edges)
+        provider.export(nodes[0], name="g")
+        replica = consumer.replicate("g", mode=mode)
+
+        replicas_by_oid: dict[str, object] = {}
+        stack = [replica]
+        while stack:
+            node = resolve(stack.pop())
+            oid = obi_id_of(node)
+            if oid in replicas_by_oid:
+                assert replicas_by_oid[oid] is node, "two replicas of one master"
+                continue
+            replicas_by_oid[oid] = node
+            stack.extend(node.get_refs())
+
+        for oid, local in replicas_by_oid.items():
+            master = provider.master_object_for(oid)
+            assert master is not None
+            assert obi_id_of(master) == obi_id_of(local)
+            assert master is not local
+
+
+@given(graph_specs())
+@settings(max_examples=50, deadline=None)
+def test_put_back_root_reproduces_state(spec):
+    values, edges = spec
+    with World.loopback(costs=CostModel.zero()) as world:
+        provider = world.create_site("P")
+        consumer = world.create_site("C")
+        nodes = build_graph(values, edges)
+        provider.export(nodes[0], name="g")
+        replica = consumer.replicate("g", mode=Transitive())
+        replica.set_value(replica.get_value() + 7)
+        consumer.put_back(replica)
+        assert nodes[0].value == values[0] + 7
+        # The master's outgoing references still point at master nodes.
+        for child in nodes[0].refs:
+            assert any(child is node for node in nodes)

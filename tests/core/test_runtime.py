@@ -1,0 +1,185 @@
+"""Tests for Site and World runtime behaviour."""
+
+import pytest
+
+from repro.core.costs import CostModel
+from repro.core.meta import obi_id_of
+from repro.core.runtime import World
+from repro.rmi.refs import RemoteRef
+from repro.util.errors import NameNotFoundError, ReplicationError
+from tests.models import Box, Counter
+
+
+class TestWorld:
+    def test_first_site_hosts_nameserver(self, zero_world):
+        first = zero_world.create_site("first")
+        second = zero_world.create_site("second")
+        first.naming.rebind("x", RemoteRef("first", "obj:1"))
+        assert second.naming.lookup("x").object_id == "obj:1"
+
+    def test_duplicate_site_name_rejected(self, zero_world):
+        zero_world.create_site("dup")
+        with pytest.raises(ReplicationError):
+            zero_world.create_site("dup")
+
+    def test_auto_named_sites(self, zero_world):
+        site = zero_world.create_site()
+        assert site.name.startswith("site:")
+
+    def test_world_clock_is_network_clock(self, zero_world):
+        assert zero_world.clock is zero_world.network.clock
+
+    def test_threaded_world_end_to_end(self):
+        with World.threaded() as world:
+            provider = world.create_site("p")
+            consumer = world.create_site("c")
+            provider.export(Counter(5), name="counter")
+            replica = consumer.replicate("counter")
+            assert replica.read() == 5
+            replica.increment()
+            consumer.put_back(replica)
+
+    def test_tcp_world_end_to_end(self):
+        with World.tcp() as world:
+            provider = world.create_site("p")
+            consumer = world.create_site("c")
+            provider.export(Counter(7), name="counter")
+            replica = consumer.replicate("counter")
+            assert replica.read() == 7
+
+
+class TestExportAndNaming:
+    def test_export_binds_name(self, zsites):
+        provider, consumer = zsites
+        provider.export(Box("v"), name="box")
+        assert consumer.naming.lookup("box").interface == "IBox"
+
+    def test_export_without_name(self, zsites):
+        provider, consumer = zsites
+        ref = provider.export(Box("anon"))
+        replica = consumer.replicate(ref)
+        assert replica.get() == "anon"
+
+    def test_reexport_reuses_proxy_in(self, zsites):
+        provider, _consumer = zsites
+        box = Box()
+        first = provider.export(box)
+        second = provider.export(box, name="renamed")
+        assert first == second
+
+    def test_replicate_unknown_name(self, zsites):
+        _provider, consumer = zsites
+        with pytest.raises(NameNotFoundError):
+            consumer.replicate("ghost")
+
+    def test_replicate_bad_target_type(self, zsites):
+        _provider, consumer = zsites
+        with pytest.raises(ReplicationError):
+            consumer.replicate(12345)  # type: ignore[arg-type]
+
+    def test_remote_stub_uses_interface_methods(self, zsites):
+        provider, consumer = zsites
+        provider.export(Counter(3), name="counter")
+        stub = consumer.remote_stub("counter")
+        assert stub.read() == 3
+        assert stub.increment() == 4
+        assert not hasattr(stub, "get")  # not part of ICounter
+
+
+class TestVersionsAndTouch:
+    def test_master_version_starts_at_one(self, zsites):
+        provider, _consumer = zsites
+        box = Box()
+        provider.export(box)
+        assert provider.master_version(box) == 1
+
+    def test_touch_bumps_version(self, zsites):
+        provider, _consumer = zsites
+        box = Box()
+        provider.export(box)
+        assert provider.touch(box) == 2
+        assert provider.touch(box) == 3
+
+    def test_touch_unexported_fails(self, zsites):
+        provider, _consumer = zsites
+        with pytest.raises(ReplicationError):
+            provider.touch(Box())
+
+    def test_replica_records_master_version(self, zsites):
+        provider, consumer = zsites
+        box = Box()
+        provider.export(box, name="box")
+        provider.touch(box)
+        replica = consumer.replicate("box")
+        info = consumer.replica_info(obi_id_of(replica))
+        assert info.version == 2
+
+
+class TestCostCharging:
+    def test_invoke_local_charges_lmi(self):
+        world = World.loopback()  # calibrated costs
+        provider = world.create_site("p")
+        consumer = world.create_site("c")
+        provider.export(Counter(), name="counter")
+        replica = consumer.replicate("counter")
+        before = world.clock.now()
+        consumer.invoke_local(replica, "read")
+        assert world.clock.now() - before == pytest.approx(2e-6)
+
+    def test_zero_cost_model_charges_nothing_for_lmi(self, zsites):
+        provider, consumer = zsites
+        provider.export(Counter(), name="counter")
+        replica = consumer.replicate("counter")
+        before = consumer.clock.now()
+        consumer.invoke_local(replica, "read")
+        assert consumer.clock.now() == before
+
+    def test_replication_charges_simulated_time(self):
+        world = World.loopback()
+        provider = world.create_site("p")
+        consumer = world.create_site("c")
+        provider.export(Box("payload"), name="box")
+        before = world.clock.now()
+        consumer.replicate("box")
+        elapsed = world.clock.now() - before
+        # At least two round trips (lookup + get) plus CPU costs.
+        assert elapsed > 5e-3
+
+
+class TestEviction:
+    def test_evicted_replica_loses_bookkeeping(self, zsites):
+        provider, consumer = zsites
+        provider.export(Box("v"), name="box")
+        replica = consumer.replicate("box")
+        consumer.evict(replica)
+        assert consumer.replica_info(obi_id_of(replica)) is None
+        with pytest.raises(ReplicationError):
+            consumer.put_back(replica)
+
+    def test_evicted_object_still_usable_locally(self, zsites):
+        provider, consumer = zsites
+        provider.export(Box("v"), name="box")
+        replica = consumer.replicate("box")
+        consumer.evict(replica)
+        assert replica.get() == "v"
+
+    def test_replicate_after_evict_makes_fresh_replica(self, zsites):
+        provider, consumer = zsites
+        provider.export(Box("v"), name="box")
+        replica = consumer.replicate("box")
+        consumer.evict(replica)
+        again = consumer.replicate("box")
+        assert consumer.replica_info(obi_id_of(again)) is not None
+
+
+class TestCostModel:
+    def test_calibrated_matches_defaults(self):
+        assert CostModel.calibrated_2002() == CostModel()
+
+    def test_zero_zeroes_everything(self):
+        zero = CostModel.zero()
+        assert zero.local_invoke_s == 0
+        assert zero.serialize_per_byte_s == 0
+        assert zero.proxy_pair_create_s == 0
+        assert zero.pair_batch_quadratic_s == 0
+        assert zero.replica_create_s == 0

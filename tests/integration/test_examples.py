@@ -1,0 +1,49 @@
+"""Smoke tests: every shipped example must run clean, as a subprocess.
+
+Examples are documentation that executes; a broken example is a broken
+promise to the first user.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3  # the deliverable floor
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(example):
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, (
+        f"{example.name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{example.name} printed nothing"
+    assert "Traceback" not in result.stderr
+
+
+def test_quickstart_output_tells_the_figure1_story():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    out = result.stdout
+    assert "proxy-out: True" in out
+    assert "fault -> B" in out
+    assert "put_back applied" in out
+    assert "refresh applied" in out

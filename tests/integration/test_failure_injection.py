@@ -1,0 +1,103 @@
+"""Failure injection: lossy links, mid-operation partitions, crashes.
+
+The paper's environment is "slow and unreliable connections"; these
+tests check that the middleware fails *cleanly* — clear exceptions, no
+corrupted local state — and recovers when conditions improve.
+"""
+
+import pytest
+
+from repro.core.costs import CostModel
+from repro.core.interfaces import Incremental
+from repro.core.meta import obi_id_of
+from repro.core.runtime import World
+from repro.simnet.link import Link
+from repro.util.errors import DisconnectedError, TransportError
+from tests.models import Counter, chain_indices, make_chain
+
+
+@pytest.fixture
+def flaky_world():
+    """A world whose default link loses no frames, but which tests can
+    rewire per-pair with lossy links."""
+    with World.loopback(costs=CostModel.zero(), seed=1234) as world:
+        yield world
+
+
+class TestLossyLinks:
+    def test_replication_over_lossy_link_raises_transport_error(self, flaky_world):
+        provider = flaky_world.create_site("provider")
+        consumer = flaky_world.create_site("consumer")
+        provider.export(make_chain(5), name="chain")
+        flaky_world.network.set_link(
+            "provider",
+            "consumer",
+            Link(latency_s=0.001, bandwidth_bps=1e7, loss_probability=0.95),
+        )
+        with pytest.raises(TransportError):
+            for _ in range(50):  # some attempt will hit a drop
+                consumer.replicate("chain")
+
+    def test_state_is_clean_after_failed_replication(self, flaky_world):
+        provider = flaky_world.create_site("provider")
+        consumer = flaky_world.create_site("consumer")
+        master = Counter(3)
+        provider.export(master, name="counter")
+        lossy = Link(latency_s=0.001, bandwidth_bps=1e7, loss_probability=0.9999)
+        flaky_world.network.set_link("provider", "consumer", lossy)
+        with pytest.raises(TransportError):
+            consumer.replicate("counter")
+        # No half-registered replica.
+        assert consumer.replica_info(obi_id_of(master)) is None
+        # Restore the link: everything works.
+        flaky_world.network.set_link(
+            "provider", "consumer", Link(latency_s=0.001, bandwidth_bps=1e7)
+        )
+        assert consumer.replicate("counter").read() == 3
+
+
+class TestMidOperationPartitions:
+    def test_partition_between_replicate_and_put(self, flaky_world):
+        provider = flaky_world.create_site("provider")
+        consumer = flaky_world.create_site("consumer")
+        master = Counter(0)
+        provider.export(master, name="counter")
+        replica = consumer.replicate("counter")
+        flaky_world.network.partition({"provider"}, {"consumer"})
+        replica.increment(5)
+        with pytest.raises(DisconnectedError):
+            consumer.put_back(replica)
+        # Local state survives; master untouched.
+        assert replica.read() == 5
+        assert master.value == 0
+        flaky_world.network.heal()
+        consumer.put_back(replica)
+        assert master.value == 5
+
+    def test_fault_mid_traversal_under_partition(self, flaky_world):
+        provider = flaky_world.create_site("provider")
+        consumer = flaky_world.create_site("consumer")
+        provider.export(make_chain(6), name="chain")
+        head = consumer.replicate("chain", mode=Incremental(2))
+        flaky_world.network.partition({"provider"}, {"consumer"})
+        # The already-replicated prefix still works...
+        assert head.get_index() == 0
+        assert head.get_next().get_index() == 1
+        # ...the frontier does not.
+        frontier = head.get_next().get_next()
+        with pytest.raises(DisconnectedError):
+            frontier.get_index()
+        flaky_world.network.heal()
+        assert chain_indices(head) == list(range(6))
+
+
+class TestProviderCrash:
+    def test_detached_provider_yields_clean_errors(self, flaky_world):
+        provider = flaky_world.create_site("provider")
+        consumer = flaky_world.create_site("consumer")
+        provider.export(Counter(1), name="counter")
+        replica = consumer.replicate("counter")
+        flaky_world.network.detach("provider")  # the site process dies
+        with pytest.raises(TransportError):
+            consumer.refresh(replica)
+        assert replica.read() == 1  # replica remains the survivor copy

@@ -1,0 +1,141 @@
+"""Integration: end-to-end mobile scenarios from the paper's narrative.
+
+"A user wants to access data using a PC in his office, using a laptop
+while in the airport or in the hotel, using a PDA in a taxi …" — these
+tests act that story out against the middleware.
+"""
+
+import pytest
+
+from repro.consistency import (
+    InvalidationConsumer,
+    InvalidationMaster,
+    ReadPolicy,
+    UpdateDisseminator,
+    UpdateSubscriber,
+)
+from repro.core.costs import CostModel
+from repro.core.runtime import World
+from repro.mobility.node import MobileNode
+from repro.mobility.reconcile import ReconcileAction, keep_local
+from repro.util.errors import DisconnectedError
+from tests.models import Folder, make_chain
+
+
+@pytest.fixture
+def office_world():
+    with World.loopback(costs=CostModel.zero()) as world:
+        office = world.create_site("office")
+        documents = Folder("documents")
+        report = Folder("report")
+        report.add("intro", make_chain(3))
+        documents.add("report", report)
+        office.export(documents, name="documents")
+        yield world, office, documents
+
+
+class TestDayInTheLife:
+    def test_office_laptop_pda_roaming(self, office_world):
+        world, office, documents = office_world
+
+        # Morning: work on the office PC via RMI — always fresh.
+        pc = world.create_site("office-pc")
+        stub = pc.remote_stub("documents")
+        assert stub.get_name() == "documents"
+
+        # Noon: laptop hoards the documents, goes to the airport.
+        laptop = MobileNode(world.create_site("laptop"))
+        docs = laptop.hoard("documents")
+        laptop.go_offline(voluntary=False)
+        assert docs.child("report").get_name() == "report"  # no network
+
+        # The PDA was never prepared; it cannot reach anything.
+        pda = MobileNode(world.create_site("pda"))
+        pda.go_offline(voluntary=True)
+        with pytest.raises(Exception):
+            pda.call("documents", "get_name")
+
+        # Evening: laptop edits offline, reconnects, pushes.
+        docs.add("notes", make_chain(2))
+        report = laptop.go_online()
+        assert report.count(ReconcileAction.PUSHED) == 1
+        assert "notes" in documents.index
+
+    def test_voluntary_disconnection_to_save_cost(self, office_world):
+        """'Some disconnections will be voluntary (e.g., due to a high
+        dollar cost)' — the flag survives to the application."""
+        world, _office, _documents = office_world
+        pda = MobileNode(world.create_site("pda"))
+        pda.hoard("documents")
+        pda.go_offline(voluntary=True)
+        try:
+            pda.site.replicate("documents")
+            raise AssertionError("should have been disconnected")
+        except DisconnectedError as error:
+            assert error.voluntary is True
+
+
+class TestCollaborationUnderMobility:
+    def test_invalidation_plus_disconnection(self, office_world):
+        world, office, documents = office_world
+        InvalidationMaster.export_on(office)
+
+        desk = world.create_site("desk")
+        roaming = world.create_site("roaming")
+        desk_consumer = InvalidationConsumer(desk, policy=ReadPolicy.REFRESH)
+        roam_consumer = InvalidationConsumer(roaming, policy=ReadPolicy.SERVE_STALE)
+        desk_replica = desk_consumer.track(desk.replicate("documents"))
+        roam_replica = roam_consumer.track(roaming.replicate("documents"))
+
+        world.network.disconnect("roaming")
+        desk_replica.name = "documents-v2"
+        desk_consumer.write_back(desk_replica)
+        assert documents.name == "documents-v2"
+
+        # The roaming site missed the invalidation but still reads.
+        assert roam_consumer.read(roam_replica).get_name() == "documents"
+
+        world.network.reconnect("roaming")
+        roaming.refresh(roam_replica)
+        assert roam_replica.get_name() == "documents-v2"
+
+    def test_epidemic_board_with_churning_connectivity(self, office_world):
+        world, office, _documents = office_world
+        from tests.models import Counter
+
+        score = Counter(0)
+        office.export(score, name="score")
+        UpdateDisseminator.export_on(office)
+
+        players = []
+        for name in ("p1", "p2", "p3"):
+            site = world.create_site(name)
+            subscriber = UpdateSubscriber(site)
+            replica = subscriber.track(site.replicate("score"))
+            players.append((site, subscriber, replica))
+
+        writer_site, _, writer_replica = players[0]
+        world.network.disconnect("p3")
+        writer_replica.increment(5)
+        writer_site.put_back(writer_replica)
+
+        assert players[1][2].read() == 5  # online subscriber converged
+        assert players[2][2].read() == 0  # offline one did not
+        world.network.reconnect("p3")
+        players[2][0].refresh(players[2][2])
+        assert players[2][2].read() == 5
+
+    def test_conflicting_offline_edits_resolved(self, office_world):
+        world, office, documents = office_world
+        alice = MobileNode(world.create_site("alice"))
+        docs = alice.hoard("documents")
+
+        alice.go_offline()
+        docs.name = "alice-edition"
+        documents.name = "office-edition"
+        office.touch(documents)
+
+        report = alice.go_online()
+        assert report.conflicts != []
+        alice.reconciler.reconcile(on_conflict=keep_local)
+        assert documents.name == "alice-edition"

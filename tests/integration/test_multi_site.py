@@ -1,0 +1,105 @@
+"""Integration: many sites sharing one object graph."""
+
+import pytest
+
+from repro.core.costs import CostModel
+from repro.core.interfaces import Cluster, Incremental, Transitive
+from repro.core.runtime import World
+from tests.models import Counter, Folder, chain_indices, make_chain
+
+
+@pytest.fixture
+def world():
+    with World.loopback(costs=CostModel.zero()) as w:
+        yield w
+
+
+def test_five_consumers_converge_via_put_and_refresh(world):
+    provider = world.create_site("provider")
+    master = Counter(0)
+    provider.export(master, name="counter")
+    consumers = [world.create_site(f"c{i}") for i in range(5)]
+    replicas = [site.replicate("counter") for site in consumers]
+
+    # Each consumer adds its index+1, serially, with refresh-before-write.
+    for index, (site, replica) in enumerate(zip(consumers, replicas)):
+        site.refresh(replica)
+        replica.increment(index + 1)
+        site.put_back(replica)
+    assert master.value == sum(range(1, 6))
+
+    for site, replica in zip(consumers, replicas):
+        site.refresh(replica)
+        assert replica.read() == 15
+
+
+def test_different_modes_against_same_master(world):
+    provider = world.create_site("provider")
+    provider.export(make_chain(20), name="chain")
+    eager = world.create_site("eager")
+    lazy = world.create_site("lazy")
+    bulk = world.create_site("bulk")
+
+    assert chain_indices(eager.replicate("chain", mode=Transitive())) == list(range(20))
+    assert chain_indices(lazy.replicate("chain", mode=Incremental(3))) == list(range(20))
+    assert chain_indices(bulk.replicate("chain", mode=Cluster(size=8))) == list(range(20))
+
+
+def test_graph_spanning_three_sites(world):
+    """A references B's object which references C's object; faults chase
+    providers across sites."""
+    sa = world.create_site("sa")
+    sb = world.create_site("sb")
+    sc = world.create_site("sc")
+
+    leaf = Counter(99)
+    sc.export(leaf, name="leaf")
+    middle = Folder("middle")
+    middle.add("leaf", sb.replicate("leaf"))  # sb holds a replica of leaf
+    sb.export(middle, name="middle")
+
+    reader = world.create_site("reader")
+    replica = reader.replicate("middle", mode=Incremental(1))
+    # The leaf arrives as a proxy whose provider is sb's chain.
+    assert replica.child("leaf").read() == 99
+
+
+def test_two_providers_one_consumer(world):
+    p1 = world.create_site("p1")
+    p2 = world.create_site("p2")
+    consumer = world.create_site("consumer")
+    p1.export(Counter(1), name="one")
+    p2.export(Counter(2), name="two")
+    r1 = consumer.replicate("one")
+    r2 = consumer.replicate("two")
+    assert (r1.read(), r2.read()) == (1, 2)
+    r1.increment(10)
+    r2.increment(20)
+    consumer.put_back(r1)
+    consumer.put_back(r2)
+    assert consumer.replica_info.__self__ is consumer  # sanity
+
+
+def test_fan_out_read_heavy_workload_bytes(world):
+    """Replication amortizes: after replicating, 100 local reads move
+    zero bytes, while 100 RMI reads move plenty."""
+    provider = world.create_site("provider")
+    provider.export(Counter(5), name="counter")
+    rmi_site = world.create_site("rmi-site")
+    lmi_site = world.create_site("lmi-site")
+
+    stats = world.network.stats
+    stub = rmi_site.remote_stub("counter")
+    before = stats.bytes_between("provider", "rmi-site")
+    for _ in range(100):
+        stub.read()
+    rmi_bytes = stats.bytes_between("provider", "rmi-site") - before
+
+    replica = lmi_site.replicate("counter")
+    before = stats.bytes_between("provider", "lmi-site")
+    for _ in range(100):
+        replica.read()
+    lmi_bytes = stats.bytes_between("provider", "lmi-site") - before
+
+    assert lmi_bytes == 0
+    assert rmi_bytes > 5000

@@ -1,0 +1,25 @@
+"""Mobility-suite fixtures: an office master and a mobile node."""
+
+import pytest
+
+from repro.core.costs import CostModel
+from repro.core.runtime import World
+from repro.mobility.node import MobileNode
+from tests.models import Counter, Folder, make_chain
+
+
+@pytest.fixture
+def mobile():
+    """(world, office_site, mobile_node, master_counter).
+
+    The office exports a Counter as 'counter' and a 5-node chain as
+    'chain'.
+    """
+    with World.loopback(costs=CostModel.zero()) as world:
+        office = world.create_site("office")
+        pda_site = world.create_site("pda")
+        master = Counter(0)
+        office.export(master, name="counter")
+        office.export(make_chain(5), name="chain")
+        node = MobileNode(pda_site)
+        yield world, office, node, master

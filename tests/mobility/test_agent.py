@@ -1,0 +1,150 @@
+"""Tests for mobile agents."""
+
+import pytest
+
+from repro import obiwan
+from repro.core.costs import CostModel
+from repro.core.runtime import World
+from repro.mobility.agent import AgentHost, launch_agent
+from repro.util.errors import DisconnectedError, ReplicationError
+from tests.models import Counter
+
+
+@obiwan.compile
+class CourierAgent:
+    """Carries a reference to a remote object and reads it on arrival."""
+
+    def __init__(self, cargo=None):
+        self.cargo = cargo
+        self.delivered_value = None
+
+    def on_arrive(self, site):
+        # The cargo reference travelled as a proxy descriptor; touching
+        # it here faults against its provider.
+        self.delivered_value = self.cargo.read()
+        return self.delivered_value
+
+
+@pytest.fixture
+def agent_world():
+    with World.loopback(costs=CostModel.zero()) as world:
+        home = world.create_site("home")
+        stops = []
+        for index, name in enumerate(("alpha", "beta", "gamma")):
+            site = world.create_site(name)
+            AgentHost(site)
+            counter = Counter(10 * (index + 1))
+            ref = site.export(counter)
+            stops.append((site, counter, ref))
+        yield world, home, stops
+
+
+class TestItineraries:
+    def test_agent_visits_all_sites_and_returns(self, agent_world):
+        world, home, stops = agent_world
+        # Give every stop a uniformly named local object by exporting
+        # under per-site names through each site's own export table.
+        for site, counter, _ref in stops:
+            site.export(counter, name=f"counter@{site.name}")
+
+        @obiwan.compile
+        class NamedSurveyAgent:
+            def __init__(self):
+                self.readings = {}
+
+            def on_arrive(self, site):
+                replica = site.replicate(f"counter@{site.name}")
+                self.readings[site.name] = replica.read()
+                return self.readings[site.name]
+
+        trip = launch_agent(home, NamedSurveyAgent(), ["alpha", "beta", "gamma"])
+        assert trip.sites_visited == ["alpha", "beta", "gamma"]
+        assert trip.agent.readings == {"alpha": 10, "beta": 20, "gamma": 30}
+        assert [result for _s, result in trip.visits] == [10, 20, 30]
+
+    def test_returned_agent_is_a_fresh_instance(self, agent_world):
+        world, home, stops = agent_world
+
+        @obiwan.compile
+        class HopCounterAgent:
+            def __init__(self):
+                self.hops = 0
+
+            def on_arrive(self, site):
+                self.hops += 1
+                return self.hops
+
+        original = HopCounterAgent()
+        trip = launch_agent(home, original, ["alpha", "beta"])
+        assert trip.agent is not original
+        assert trip.agent.hops == 2
+        assert original.hops == 0  # the stay-behind copy never ran
+
+    def test_agent_carries_remote_reference(self, agent_world):
+        world, home, stops = agent_world
+        _site, counter, ref = stops[2]  # gamma's counter
+        cargo = home.replicate(ref)  # home holds a replica
+        agent = CourierAgent(cargo=cargo)
+        trip = launch_agent(home, agent, ["alpha"])
+        assert trip.agent.delivered_value == 30
+
+
+class TestFailures:
+    def test_unhosted_site_rejects_agents(self, agent_world):
+        world, home, _stops = agent_world
+        bare = world.create_site("no-host")
+
+        @obiwan.compile
+        class LostAgent:
+            def __init__(self):
+                self.x = 0
+
+            def on_arrive(self, site):
+                return None
+
+        with pytest.raises(Exception):
+            launch_agent(home, LostAgent(), ["no-host"])
+
+    def test_disconnected_stop_surfaces(self, agent_world):
+        world, home, _stops = agent_world
+        world.network.disconnect("beta")
+
+        @obiwan.compile
+        class StrandedAgent:
+            def __init__(self):
+                self.x = 0
+
+            def on_arrive(self, site):
+                return site.name
+
+        with pytest.raises(DisconnectedError):
+            launch_agent(home, StrandedAgent(), ["alpha", "beta"])
+
+    def test_uncompiled_agent_rejected(self, agent_world):
+        _world, home, _stops = agent_world
+
+        class Plain:
+            def on_arrive(self, site):
+                return None
+
+        with pytest.raises(ReplicationError, match="compiled"):
+            launch_agent(home, Plain(), ["alpha"])
+
+    def test_agent_without_on_arrive_rejected(self, agent_world):
+        _world, home, _stops = agent_world
+        with pytest.raises(ReplicationError, match="on_arrive"):
+            launch_agent(home, Counter(), ["alpha"])
+
+    def test_empty_itinerary_rejected(self, agent_world):
+        _world, home, _stops = agent_world
+
+        @obiwan.compile
+        class HomebodyAgent:
+            def __init__(self):
+                self.x = 0
+
+            def on_arrive(self, site):
+                return None
+
+        with pytest.raises(ReplicationError, match="itinerary"):
+            launch_agent(home, HomebodyAgent(), [])

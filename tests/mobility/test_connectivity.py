@@ -1,0 +1,71 @@
+"""Tests for the connectivity manager."""
+
+import pytest
+
+from repro.mobility.connectivity import ConnectivityManager
+from repro.util.errors import DisconnectedError
+
+
+def test_initially_online(mobile):
+    _w, _office, node, _master = mobile
+    assert node.connectivity.is_online
+    assert not node.connectivity.is_voluntary
+
+
+def test_go_offline_blocks_traffic(mobile):
+    _w, _office, node, _master = mobile
+    node.connectivity.go_offline()
+    with pytest.raises(DisconnectedError):
+        node.site.replicate("counter")
+
+
+def test_voluntary_flag_propagates_to_errors(mobile):
+    _w, _office, node, _master = mobile
+    node.connectivity.go_offline(voluntary=True)
+    assert node.connectivity.is_voluntary
+    with pytest.raises(DisconnectedError) as info:
+        node.site.replicate("counter")
+    assert info.value.voluntary is True
+
+
+def test_go_online_restores(mobile):
+    _w, _office, node, _master = mobile
+    node.connectivity.go_offline()
+    node.connectivity.go_online()
+    assert node.site.replicate("counter").read() == 0
+
+
+def test_offline_context_manager(mobile):
+    _w, _office, node, _master = mobile
+    with node.connectivity.offline():
+        assert not node.connectivity.is_online
+        assert node.connectivity.is_voluntary
+    assert node.connectivity.is_online
+
+
+def test_offline_context_restores_on_exception(mobile):
+    _w, _office, node, _master = mobile
+    with pytest.raises(RuntimeError):
+        with node.connectivity.offline():
+            raise RuntimeError("app failure while offline")
+    assert node.connectivity.is_online
+
+
+def test_events_published(mobile):
+    _w, _office, node, _master = mobile
+    transitions = []
+    node.site.events.subscribe(
+        "connectivity_changed",
+        lambda **kw: transitions.append((kw["online"], kw["voluntary"])),
+    )
+    node.connectivity.go_offline(voluntary=True)
+    node.connectivity.go_online()
+    assert transitions == [(False, True), (True, False)]
+
+
+def test_repr_reflects_state(mobile):
+    _w, _office, node, _master = mobile
+    manager: ConnectivityManager = node.connectivity
+    assert "online" in repr(manager)
+    manager.go_offline(voluntary=True)
+    assert "voluntary" in repr(manager)

@@ -1,0 +1,63 @@
+"""Tests for hoarding and prefetching."""
+
+from repro.core.interfaces import Incremental
+from repro.core.proxy_out import ProxyOutBase
+from tests.models import chain_indices
+
+
+def test_hoard_defaults_to_transitive_closure(mobile):
+    _w, _office, node, _master = mobile
+    chain = node.hoard_store.hoard("chain")
+    assert node.hoard_store.is_complete("chain")
+    node.go_offline()
+    assert chain_indices(chain) == list(range(5))  # no faults offline
+
+
+def test_partial_hoard_is_reported_incomplete(mobile):
+    _w, _office, node, _master = mobile
+    node.hoard_store.hoard("chain", mode=Incremental(2))
+    assert not node.hoard_store.is_complete("chain")
+
+
+def test_prefetch_completes_a_partial_graph(mobile):
+    _w, _office, node, _master = mobile
+    chain = node.hoard_store.hoard("chain", mode=Incremental(2))
+    resolved = node.hoard_store.prefetch(chain)
+    assert resolved >= 1
+    assert node.hoard_store.is_complete("chain")
+    node.go_offline()
+    assert chain_indices(chain) == list(range(5))
+
+
+def test_prefetch_bounded_by_max_faults(mobile):
+    _w, _office, node, _master = mobile
+    chain = node.hoard_store.hoard("chain", mode=Incremental(1))
+    resolved = node.hoard_store.prefetch(chain, max_faults=1)
+    assert resolved == 1
+    assert not node.hoard_store.is_complete("chain")
+
+
+def test_prefetch_on_complete_graph_is_zero(mobile):
+    _w, _office, node, _master = mobile
+    chain = node.hoard_store.hoard("chain")
+    assert node.hoard_store.prefetch(chain) == 0
+
+
+def test_hoard_contents_management(mobile):
+    _w, _office, node, _master = mobile
+    replica = node.hoard_store.hoard("counter")
+    assert "counter" in node.hoard_store
+    assert node.hoard_store.get("counter") is replica
+    assert node.hoard_store.names() == ["counter"]
+    node.hoard_store.unpin("counter")
+    assert len(node.hoard_store) == 0
+    assert node.hoard_store.get("counter") is None
+    assert not node.hoard_store.is_complete("counter")
+
+
+def test_hoarded_graph_with_resolved_proxies_counts_complete(mobile):
+    _w, _office, node, _master = mobile
+    chain = node.hoard_store.hoard("chain", mode=Incremental(2))
+    # Resolve the frontier by traversal rather than prefetch.
+    assert chain_indices(chain) == list(range(5))
+    assert node.hoard_store.is_complete("chain")

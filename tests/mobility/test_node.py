@@ -1,0 +1,58 @@
+"""Tests for the MobileNode facade."""
+
+from repro.mobility.node import MobileNode
+from repro.mobility.reconcile import ReconcileAction
+from tests.models import chain_indices
+
+
+def test_hoard_tracks_baseline(mobile):
+    _w, _office, node, _master = mobile
+    replica = node.hoard("counter")
+    assert not node.reconciler.is_dirty(replica)
+    replica.increment()
+    assert node.reconciler.is_dirty(replica)
+
+
+def test_go_online_reconciles_by_default(mobile):
+    _w, _office, node, master = mobile
+    replica = node.hoard("counter")
+    node.go_offline()
+    replica.increment(2)
+    report = node.go_online()
+    assert report.count(ReconcileAction.PUSHED) == 1
+    assert master.value == 2
+
+
+def test_go_online_can_skip_reconcile(mobile):
+    _w, _office, node, master = mobile
+    replica = node.hoard("counter")
+    node.go_offline()
+    replica.increment(2)
+    assert node.go_online(reconcile=False) is None
+    assert master.value == 0
+
+
+def test_prefetch_via_node(mobile):
+    from repro.core.interfaces import Incremental
+
+    _w, _office, node, _master = mobile
+    chain = node.hoard_store.hoard("chain", mode=Incremental(2))
+    assert node.prefetch(chain) >= 1
+    node.go_offline()
+    assert chain_indices(chain) == list(range(5))
+
+
+def test_is_online_property(mobile):
+    _w, _office, node, _master = mobile
+    assert node.is_online
+    node.go_offline()
+    assert not node.is_online
+
+
+def test_repr_summarizes(mobile):
+    _w, _office, node, _master = mobile
+    node.hoard("counter")
+    text = repr(node)
+    assert "pda" in text and "hoarded=1" in text
+    node.go_offline()
+    assert "offline" in repr(node)

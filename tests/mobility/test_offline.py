@@ -1,0 +1,77 @@
+"""Tests for fallback invocation."""
+
+import pytest
+
+from repro.mobility.offline import ServedBy
+from repro.util.errors import ObjectFaultError
+
+
+def test_online_calls_hit_the_master(mobile):
+    _w, _office, node, master = mobile
+    node.hoard("counter")
+    master.value = 9
+    result = node.call("counter", "read")
+    assert result.value == 9
+    assert result.served_by is ServedBy.MASTER
+    assert not result.possibly_stale
+
+
+def test_offline_falls_back_to_hoarded_replica(mobile):
+    _w, _office, node, master = mobile
+    replica = node.hoard("counter")
+    replica.increment(3)
+    node.go_offline(voluntary=True)
+    result = node.call("counter", "read")
+    assert result.value == 3
+    assert result.served_by is ServedBy.REPLICA
+    assert result.possibly_stale
+    assert result.disconnection_voluntary is True
+
+
+def test_offline_without_replica_raises_with_hint(mobile):
+    _w, _office, node, _master = mobile
+    node.go_offline()
+    with pytest.raises(ObjectFaultError, match="hoard"):
+        node.call("counter", "read")
+
+
+def test_explicit_replica_argument_wins(mobile):
+    _w, _office, node, _master = mobile
+    replica = node.site.replicate("counter")  # not hoarded
+    replica.increment(2)
+    node.go_offline()
+    result = node.invoker.call("counter", "read", replica=replica)
+    assert result.value == 2
+
+
+def test_fallback_found_via_cached_name_after_online_use(mobile):
+    """A name used while online is correlatable to its replica offline,
+    even without the hoard."""
+    _w, _office, node, _master = mobile
+    node.call("counter", "read")  # caches the name → ref mapping
+    replica = node.site.replicate("counter")
+    replica.increment(4)
+    node.go_offline()
+    result = node.invoker.call("counter", "read")
+    assert result.value == 4
+    assert result.served_by is ServedBy.REPLICA
+
+
+def test_arguments_forwarded_on_both_paths(mobile):
+    _w, _office, node, master = mobile
+    node.hoard("counter")
+    online = node.call("counter", "increment", 5)
+    assert online.value == 5 and master.value == 5
+    node.go_offline()
+    offline = node.call("counter", "increment", 2)
+    assert offline.value == 2  # replica was at 0: local copy
+    assert master.value == 5  # master untouched while offline
+
+
+def test_local_replica_of_helper(mobile):
+    _w, _office, node, _master = mobile
+    replica = node.hoard("counter")
+    assert node.invoker.local_replica_of(replica) is replica
+    from tests.models import Counter
+
+    assert node.invoker.local_replica_of(Counter()) is None

@@ -1,0 +1,81 @@
+"""Property-based fuzzing of the RMI dispatch path.
+
+Whatever (serializable) arguments a peer sends, dispatch must either
+execute the call or return a structured failure — never raise out of
+the skeleton, never corrupt the table.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rmi.protocol import InvokeFailure, InvokeRequest, InvokeSuccess
+from repro.rmi.skeleton import ObjectTable
+
+values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(-(2**40), 2**40),
+        st.floats(allow_nan=False),
+        st.text(max_size=20),
+        st.binary(max_size=20),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+
+
+class Tolerant:
+    def anything(self, *args, **kwargs):
+        return len(args) + len(kwargs)
+
+
+class Strict:
+    def two_ints(self, a: int, b: int) -> int:
+        return a + b
+
+
+_table = ObjectTable("fuzz-site")
+_tolerant_ref = _table.export(Tolerant())
+_strict_ref = _table.export(Strict())
+
+
+@given(st.lists(values, max_size=5), st.dictionaries(st.text(max_size=8), values, max_size=3))
+@settings(max_examples=200, deadline=None)
+def test_tolerant_target_always_succeeds(args, kwargs):
+    result = _table.dispatch(
+        InvokeRequest(_tolerant_ref.object_id, "anything", tuple(args), kwargs)
+    )
+    assert isinstance(result, InvokeSuccess)
+    assert result.value == len(args) + len(kwargs)
+
+
+@given(st.lists(values, max_size=5))
+@settings(max_examples=200, deadline=None)
+def test_strict_target_never_raises_out(args):
+    result = _table.dispatch(
+        InvokeRequest(_strict_ref.object_id, "two_ints", tuple(args), {})
+    )
+    assert isinstance(result, (InvokeSuccess, InvokeFailure))
+
+
+@given(st.text(max_size=30))
+@settings(max_examples=200, deadline=None)
+def test_arbitrary_method_names_fail_structurally(name):
+    result = _table.dispatch(InvokeRequest(_tolerant_ref.object_id, name, ()))
+    assert isinstance(result, (InvokeSuccess, InvokeFailure))
+    if name.startswith("_") or not name:
+        # Private and dunder names are never remotely invocable —
+        # ``__class__``/``__init__`` would otherwise be callable.
+        assert isinstance(result, InvokeFailure)
+
+
+@given(st.text(max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_arbitrary_object_ids_fail_structurally(object_id):
+    result = _table.dispatch(InvokeRequest(object_id, "anything", ()))
+    if object_id != _tolerant_ref.object_id:
+        assert isinstance(result, InvokeFailure)

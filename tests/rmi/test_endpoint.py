@@ -1,0 +1,136 @@
+"""Tests for RmiEndpoint: invoke, stubs, one-way, error propagation."""
+
+import pytest
+
+from repro.rmi.endpoint import RmiEndpoint
+from repro.rmi.refs import RemoteRef
+from repro.serial.registry import global_registry
+from repro.simnet.loopback import LoopbackNetwork
+from repro.util.errors import ProtocolError, RemoteError, TransportError
+
+
+class Calculator:
+    def __init__(self):
+        self.history = []
+
+    def add(self, a, b):
+        self.history.append((a, b))
+        return a + b
+
+    def fail(self):
+        raise ValueError("division by zero-ish")
+
+    def note(self, text):
+        self.history.append(text)
+
+
+@pytest.fixture
+def endpoints():
+    network = LoopbackNetwork()
+    server = RmiEndpoint(network, "server")
+    client = RmiEndpoint(network, "client")
+    yield server, client
+    network.close()
+
+
+class TestInvoke:
+    def test_remote_invocation(self, endpoints):
+        server, client = endpoints
+        calc = Calculator()
+        ref = server.export(calc, interface="ICalc")
+        assert client.invoke(ref, "add", (2, 3)) == 5
+        assert calc.history == [(2, 3)]
+
+    def test_kwargs_cross_the_wire(self, endpoints):
+        server, client = endpoints
+        ref = server.export(Calculator())
+        assert client.invoke(ref, "add", (), {"a": 1, "b": 2}) == 3
+
+    def test_local_ref_short_circuits_but_keeps_semantics(self, endpoints):
+        server, _client = endpoints
+        calc = Calculator()
+        ref = server.export(calc)
+        before = server.network.stats.total_messages
+        assert server.invoke(ref, "add", (1, 1)) == 2
+        assert server.network.stats.total_messages == before  # no traffic
+
+    def test_remote_application_error(self, endpoints):
+        server, client = endpoints
+        ref = server.export(Calculator())
+        with pytest.raises(RemoteError) as info:
+            client.invoke(ref, "fail", ())
+        assert info.value.remote_type == "ValueError"
+
+    def test_unknown_object_raises_protocol_error(self, endpoints):
+        _server, client = endpoints
+        ghost = RemoteRef("server", "obj:ghost")
+        with pytest.raises(ProtocolError):
+            client.invoke(ghost, "add", ())
+
+    def test_unknown_site_raises_transport_error(self, endpoints):
+        _server, client = endpoints
+        elsewhere = RemoteRef("mars", "obj:1")
+        with pytest.raises(TransportError):
+            client.invoke(elsewhere, "add", ())
+
+    def test_arguments_are_copies_not_aliases(self, endpoints):
+        server, client = endpoints
+
+        class Sink:
+            def __init__(self):
+                self.got = None
+
+            def take(self, value):
+                self.got = value
+                return True
+
+        sink = Sink()
+        ref = server.export(sink)
+        payload = {"data": [1, 2, 3]}
+        client.invoke(ref, "take", (payload,))
+        assert sink.got == payload
+        assert sink.got is not payload
+        assert sink.got["data"] is not payload["data"]
+
+
+class TestStubs:
+    def test_stub_invocation(self, endpoints):
+        server, client = endpoints
+        calc = Calculator()
+        ref = server.export(calc, interface="ICalc")
+        stub = client.stub(ref, ["add"])
+        assert stub.add(4, 5) == 9
+
+
+class TestOneWay:
+    def test_oneway_invokes_without_result(self, endpoints):
+        server, client = endpoints
+        calc = Calculator()
+        ref = server.export(calc)
+        assert client.invoke_oneway(ref, "note", ("hello",)) is None
+        assert calc.history == ["hello"]
+
+    def test_oneway_swallows_remote_errors(self, endpoints):
+        server, client = endpoints
+        ref = server.export(Calculator())
+        client.invoke_oneway(ref, "fail", ())  # must not raise
+
+    def test_oneway_local_short_circuit(self, endpoints):
+        server, _client = endpoints
+        calc = Calculator()
+        ref = server.export(calc)
+        server.invoke_oneway(ref, "note", ("local",))
+        assert calc.history == ["local"]
+
+
+class TestLifecycle:
+    def test_unexport_then_invoke_fails_cleanly(self, endpoints):
+        server, client = endpoints
+        ref = server.export(Calculator())
+        server.unexport(ref.object_id)
+        with pytest.raises(ProtocolError):
+            client.invoke(ref, "add", (1, 2))
+
+    def test_repr_mentions_site(self, endpoints):
+        server, _client = endpoints
+        assert "server" in repr(server)

@@ -1,0 +1,60 @@
+"""Tests for the invocation protocol frames."""
+
+import pytest
+
+from repro.rmi.protocol import InvokeFailure, InvokeRequest, InvokeSuccess
+from repro.serial.decoder import Decoder
+from repro.serial.encoder import Encoder
+from repro.util.errors import NameNotFoundError, ProtocolError, RemoteError
+
+
+def test_request_roundtrip():
+    request = InvokeRequest("obj:1", "method", (1, "two"), {"k": 3})
+    result = Decoder().decode(Encoder().encode(request))
+    assert isinstance(result, InvokeRequest)
+    assert result.object_id == "obj:1"
+    assert result.method == "method"
+    assert result.args == (1, "two")
+    assert result.kwargs == {"k": 3}
+
+
+def test_success_roundtrip():
+    result = Decoder().decode(Encoder().encode(InvokeSuccess(value=[1, 2])))
+    assert isinstance(result, InvokeSuccess)
+    assert result.value == [1, 2]
+
+
+def test_failure_roundtrip():
+    failure = InvokeFailure("ValueError", "bad input", "trace...")
+    result = Decoder().decode(Encoder().encode(failure))
+    assert isinstance(result, InvokeFailure)
+    assert result.error_name == "ValueError"
+    assert result.remote_traceback == "trace..."
+
+
+def test_from_exception_captures_type_and_message():
+    failure = InvokeFailure.from_exception(KeyError("missing"), "tb")
+    assert failure.error_name == "KeyError"
+    assert "missing" in failure.message
+
+
+class TestRaise:
+    def test_wellknown_middleware_error_reconstructs(self):
+        failure = InvokeFailure("NameNotFoundError", "name 'x' is not bound")
+        with pytest.raises(NameNotFoundError, match="not bound"):
+            failure.raise_()
+
+    def test_protocol_error_reconstructs(self):
+        with pytest.raises(ProtocolError):
+            InvokeFailure("ProtocolError", "bad").raise_()
+
+    def test_application_error_becomes_remote_error(self):
+        failure = InvokeFailure("ValueError", "kapow", "the traceback")
+        with pytest.raises(RemoteError) as info:
+            failure.raise_()
+        assert info.value.remote_type == "ValueError"
+        assert info.value.remote_traceback == "the traceback"
+
+    def test_unknown_error_name_becomes_remote_error(self):
+        with pytest.raises(RemoteError):
+            InvokeFailure("SomeCustomAppError", "x").raise_()

@@ -1,0 +1,32 @@
+"""Tests for remote references."""
+
+from repro.rmi.refs import RemoteRef
+from repro.serial.decoder import Decoder
+from repro.serial.encoder import Encoder
+
+
+def test_refs_are_value_objects():
+    a = RemoteRef("s1", "obj:1", "IThing")
+    b = RemoteRef("s1", "obj:1", "IThing")
+    c = RemoteRef("s1", "obj:2", "IThing")
+    assert a == b
+    assert a != c
+    assert hash(a) == hash(b)
+
+
+def test_str_rendering():
+    assert str(RemoteRef("s1", "obj:1", "IThing")) == "obj:1@s1 (IThing)"
+    assert str(RemoteRef("s1", "obj:1")) == "obj:1@s1"
+
+
+def test_refs_cross_the_wire():
+    ref = RemoteRef("siteX", "obj:42", "IWidget")
+    result = Decoder().decode(Encoder().encode(ref))
+    assert result == ref
+    assert isinstance(result, RemoteRef)
+
+
+def test_refs_nest_in_containers_on_the_wire():
+    refs = {"a": RemoteRef("s", "o:1"), "b": [RemoteRef("s", "o:2", "I")]}
+    result = Decoder().decode(Encoder().encode(refs))
+    assert result == refs

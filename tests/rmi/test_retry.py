@@ -1,0 +1,118 @@
+"""Tests for RMI retry policies."""
+
+import pytest
+
+from repro.rmi.endpoint import RmiEndpoint
+from repro.rmi.retry import BackoffRetry, FixedRetry, NoRetry, RetryingInvoker
+from repro.simnet.link import Link
+from repro.simnet.loopback import LoopbackNetwork
+from repro.util.clock import SimClock
+from repro.util.errors import DisconnectedError, TransportError
+
+
+class Flaky:
+    """A link that drops exactly the first N frames."""
+
+    def __init__(self, drops: int):
+        self.remaining = drops
+        self.inner = Link(latency_s=0.001, bandwidth_bps=1e7, name="flaky")
+
+    def transfer_time(self, size, rng=None):
+        return self.inner.transfer_time(size, rng)
+
+    def drops(self, rng=None):
+        if self.remaining > 0:
+            self.remaining -= 1
+            return True
+        return False
+
+    @property
+    def name(self):
+        return "flaky"
+
+
+@pytest.fixture
+def endpoints():
+    network = LoopbackNetwork(SimClock())
+    server = RmiEndpoint(network, "server")
+    client = RmiEndpoint(network, "client")
+    yield network, server, client
+    network.close()
+
+
+class Target:
+    def ping(self):
+        return "pong"
+
+
+class TestPolicies:
+    def test_fixed_retry_validation(self):
+        with pytest.raises(ValueError):
+            FixedRetry(attempts=0)
+        with pytest.raises(ValueError):
+            FixedRetry(pause_s=-1)
+
+    def test_backoff_validation(self):
+        with pytest.raises(ValueError):
+            BackoffRetry(attempts=0)
+        with pytest.raises(ValueError):
+            BackoffRetry(base_s=0.1, cap_s=0.01)
+
+    def test_backoff_delays_double_and_cap(self):
+        delays = list(BackoffRetry(attempts=5, base_s=0.01, cap_s=0.05).delays())
+        assert delays == [0.01, 0.02, 0.04, 0.05, 0.05]
+
+
+class TestRetryingInvoker:
+    def test_no_retry_fails_fast(self, endpoints):
+        network, server, client = endpoints
+        ref = server.export(Target())
+        network.set_link("client", "server", Flaky(drops=1))  # type: ignore[arg-type]
+        invoker = RetryingInvoker(client, NoRetry())
+        with pytest.raises(TransportError):
+            invoker.invoke(ref, "ping")
+        assert invoker.attempts_made == 1
+
+    def test_fixed_retry_survives_transient_drops(self, endpoints):
+        network, server, client = endpoints
+        ref = server.export(Target())
+        network.set_link("client", "server", Flaky(drops=2))  # type: ignore[arg-type]
+        invoker = RetryingInvoker(client, FixedRetry(attempts=3, pause_s=0.01))
+        assert invoker.invoke(ref, "ping") == "pong"
+        assert invoker.retries_used == 2
+
+    def test_retry_budget_exhausts(self, endpoints):
+        network, server, client = endpoints
+        ref = server.export(Target())
+        network.set_link("client", "server", Flaky(drops=10))  # type: ignore[arg-type]
+        invoker = RetryingInvoker(client, FixedRetry(attempts=2, pause_s=0.0))
+        with pytest.raises(TransportError):
+            invoker.invoke(ref, "ping")
+        assert invoker.attempts_made == 3  # 1 + 2 retries
+
+    def test_pauses_charge_the_clock(self, endpoints):
+        network, server, client = endpoints
+        ref = server.export(Target())
+        network.set_link("client", "server", Flaky(drops=2))  # type: ignore[arg-type]
+        invoker = RetryingInvoker(client, FixedRetry(attempts=3, pause_s=0.5))
+        before = network.clock.now()
+        invoker.invoke(ref, "ping")
+        assert network.clock.now() - before >= 1.0  # two pauses
+
+    def test_disconnection_never_retried(self, endpoints):
+        network, server, client = endpoints
+        ref = server.export(Target())
+        network.disconnect("server")
+        invoker = RetryingInvoker(client, FixedRetry(attempts=5))
+        with pytest.raises(DisconnectedError):
+            invoker.invoke(ref, "ping")
+        assert invoker.attempts_made == 1
+
+    def test_retrying_stub(self, endpoints):
+        network, server, client = endpoints
+        ref = server.export(Target(), interface="ITarget")
+        network.set_link("client", "server", Flaky(drops=1))  # type: ignore[arg-type]
+        invoker = RetryingInvoker(client, FixedRetry(attempts=2))
+        stub = invoker.stub(ref, ["ping"])
+        assert stub.ping() == "pong"
+        assert invoker.retries_used == 1

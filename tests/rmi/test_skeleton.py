@@ -1,0 +1,97 @@
+"""Tests for the exported-object table and skeleton dispatch."""
+
+import pytest
+
+from repro.rmi.protocol import InvokeFailure, InvokeRequest, InvokeSuccess
+from repro.rmi.skeleton import ObjectTable
+from repro.util.errors import ProtocolError
+
+
+class Service:
+    def __init__(self):
+        self.calls = []
+
+    def add(self, a, b=0):
+        self.calls.append((a, b))
+        return a + b
+
+    def explode(self):
+        raise ValueError("internal failure")
+
+    not_callable = 42
+
+
+@pytest.fixture
+def table():
+    return ObjectTable("siteA")
+
+
+class TestExport:
+    def test_export_assigns_ref(self, table):
+        ref = table.export(Service(), interface="IService")
+        assert ref.site_id == "siteA"
+        assert ref.interface == "IService"
+        assert ref.object_id in table
+
+    def test_explicit_object_id(self, table):
+        ref = table.export(Service(), object_id="obj:fixed")
+        assert ref.object_id == "obj:fixed"
+
+    def test_duplicate_object_id_rejected(self, table):
+        table.export(Service(), object_id="x")
+        with pytest.raises(ProtocolError):
+            table.export(Service(), object_id="x")
+
+    def test_unexport_removes(self, table):
+        ref = table.export(Service())
+        table.unexport(ref.object_id)
+        assert ref.object_id not in table
+        table.unexport(ref.object_id)  # idempotent
+
+    def test_len_and_get(self, table):
+        service = Service()
+        ref = table.export(service)
+        assert len(table) == 1
+        assert table.get(ref.object_id) is service
+        assert table.get("ghost") is None
+
+
+class TestDispatch:
+    def test_successful_call(self, table):
+        service = Service()
+        ref = table.export(service)
+        result = table.dispatch(InvokeRequest(ref.object_id, "add", (2,), {"b": 3}))
+        assert isinstance(result, InvokeSuccess)
+        assert result.value == 5
+        assert service.calls == [(2, 3)]
+
+    def test_unknown_object(self, table):
+        result = table.dispatch(InvokeRequest("ghost", "add", ()))
+        assert isinstance(result, InvokeFailure)
+        assert result.error_name == "ProtocolError"
+        assert "ghost" in result.message
+
+    def test_unknown_method(self, table):
+        ref = table.export(Service())
+        result = table.dispatch(InvokeRequest(ref.object_id, "nope", ()))
+        assert isinstance(result, InvokeFailure)
+        assert "nope" in result.message
+
+    def test_non_callable_attribute(self, table):
+        ref = table.export(Service())
+        result = table.dispatch(InvokeRequest(ref.object_id, "not_callable", ()))
+        assert isinstance(result, InvokeFailure)
+
+    def test_application_exception_flattened(self, table):
+        ref = table.export(Service())
+        result = table.dispatch(InvokeRequest(ref.object_id, "explode", ()))
+        assert isinstance(result, InvokeFailure)
+        assert result.error_name == "ValueError"
+        assert "internal failure" in result.message
+        assert "explode" in result.remote_traceback
+
+    def test_dispatch_never_raises(self, table):
+        ref = table.export(Service())
+        request = InvokeRequest(ref.object_id, "add", ("wrong", "types"))
+        result = table.dispatch(request)  # TypeError inside → failure
+        assert isinstance(result, (InvokeSuccess, InvokeFailure))

@@ -1,0 +1,60 @@
+"""Tests for dynamic stub generation."""
+
+from repro.rmi.refs import RemoteRef
+from repro.rmi.stub import Stub, make_stub
+
+
+class RecordingInvoker:
+    def __init__(self, result=None):
+        self.calls = []
+        self.result = result
+
+    def __call__(self, ref, method, args, kwargs):
+        self.calls.append((ref, method, args, kwargs))
+        return self.result
+
+
+def test_stub_methods_forward_to_invoker():
+    invoker = RecordingInvoker(result=99)
+    ref = RemoteRef("s", "o:1", "ICalc")
+    stub = make_stub(invoker, ref, ["add", "sub"])
+    assert stub.add(1, 2, key=3) == 99
+    assert invoker.calls == [(ref, "add", (1, 2), {"key": 3})]
+
+
+def test_stub_exposes_only_requested_methods():
+    stub = make_stub(RecordingInvoker(), RemoteRef("s", "o:1"), ["only"])
+    assert hasattr(stub, "only")
+    assert not hasattr(stub, "other")
+
+
+def test_stub_is_stub_instance_with_ref():
+    ref = RemoteRef("s", "o:1", "IThing")
+    stub = make_stub(RecordingInvoker(), ref, ["m"])
+    assert isinstance(stub, Stub)
+    assert stub.remote_ref == ref
+    assert "obj" not in repr(stub) or True  # repr is informative, not strict
+
+
+def test_stub_classes_are_cached_per_interface():
+    ref = RemoteRef("s", "o:1", "ICached")
+    first = make_stub(RecordingInvoker(), ref, ["m", "n"])
+    second = make_stub(RecordingInvoker(), ref, ["n", "m"])  # order-insensitive
+    assert type(first) is type(second)
+
+
+def test_different_interfaces_get_different_classes():
+    a = make_stub(RecordingInvoker(), RemoteRef("s", "o:1", "IA"), ["m"])
+    b = make_stub(RecordingInvoker(), RemoteRef("s", "o:2", "IB"), ["m"])
+    assert type(a) is not type(b)
+
+
+def test_two_stubs_same_class_different_targets():
+    invoker = RecordingInvoker()
+    ref1 = RemoteRef("s", "o:1", "ISame")
+    ref2 = RemoteRef("s", "o:2", "ISame")
+    stub1 = make_stub(invoker, ref1, ["m"])
+    stub2 = make_stub(invoker, ref2, ["m"])
+    stub1.m()
+    stub2.m()
+    assert [call[0] for call in invoker.calls] == [ref1, ref2]

@@ -1,0 +1,80 @@
+"""Decoder robustness against malformed frames."""
+
+import pytest
+
+from repro.serial.decoder import Decoder
+from repro.serial.encoder import Encoder
+from repro.serial.registry import TypeRegistry
+from repro.util.errors import SerializationError
+
+
+@pytest.fixture
+def registry():
+    return TypeRegistry()
+
+
+def test_truncated_frame(registry):
+    data = Encoder(registry).encode("hello world")
+    with pytest.raises(SerializationError, match="truncated"):
+        Decoder(registry).decode(data[:-3])
+
+
+def test_trailing_garbage(registry):
+    data = Encoder(registry).encode(42)
+    with pytest.raises(SerializationError, match="trailing"):
+        Decoder(registry).decode(data + b"\x00")
+
+
+def test_unknown_tag(registry):
+    with pytest.raises(SerializationError, match="unknown wire tag"):
+        Decoder(registry).decode(b"\xee")
+
+
+def test_empty_frame(registry):
+    with pytest.raises(SerializationError):
+        Decoder(registry).decode(b"")
+
+
+def test_dangling_backreference(registry):
+    from repro.serial import tags
+
+    frame = bytes([tags.REF]) + (99).to_bytes(4, "big")
+    with pytest.raises(SerializationError, match="dangling"):
+        Decoder(registry).decode(frame)
+
+
+def test_unknown_object_type_name(registry):
+    sender = TypeRegistry()
+
+    class OnlyHere:
+        pass
+
+    sender.register(OnlyHere, name="sender.OnlyHere")
+    data = Encoder(sender).encode(OnlyHere())
+    with pytest.raises(SerializationError, match="sender.OnlyHere"):
+        Decoder(registry).decode(data)
+
+
+def test_depth_limit_enforced(registry):
+    nested = current = []
+    for _ in range(20):
+        nxt: list = []
+        current.append(nxt)
+        current = nxt
+    encoder = Encoder(registry, max_depth=10)
+    with pytest.raises(SerializationError, match="depth"):
+        encoder.encode(nested)
+
+
+def test_oversized_int_rejected(registry):
+    with pytest.raises(SerializationError, match="too large"):
+        Encoder(registry).encode(1 << 3000)
+
+
+def test_corrupt_length_prefix(registry):
+    from repro.serial import tags
+
+    # STR claiming 2^31 bytes with nothing behind it.
+    frame = bytes([tags.STR]) + (2**31).to_bytes(4, "big")
+    with pytest.raises(SerializationError):
+        Decoder(registry).decode(frame)

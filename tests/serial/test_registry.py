@@ -1,0 +1,127 @@
+"""Tests for the wire-type registry."""
+
+import pytest
+
+from repro.serial.registry import TypeRegistry
+from repro.util.errors import SerializationError
+
+
+class Sample:
+    def __init__(self, value=0):
+        self.value = value
+
+
+class Other:
+    pass
+
+
+class TestRegister:
+    def test_default_wire_name(self):
+        registry = TypeRegistry()
+        entry = registry.register(Sample)
+        assert entry.name.endswith("Sample")
+        assert "test_registry" in entry.name
+
+    def test_custom_wire_name(self):
+        registry = TypeRegistry()
+        entry = registry.register(Sample, name="my.Sample")
+        assert registry.lookup_name("my.Sample") is entry
+
+    def test_reregistration_is_idempotent(self):
+        registry = TypeRegistry()
+        first = registry.register(Sample)
+        second = registry.register(Sample)
+        assert first is second
+
+    def test_name_collision_rejected(self):
+        registry = TypeRegistry()
+        registry.register(Sample, name="x")
+        with pytest.raises(SerializationError):
+            registry.register(Other, name="x")
+
+    def test_lookup_unregistered_class_fails_with_hint(self):
+        registry = TypeRegistry()
+        with pytest.raises(SerializationError, match="not registered"):
+            registry.lookup_class(Sample)
+
+    def test_lookup_unknown_name_fails(self):
+        registry = TypeRegistry()
+        with pytest.raises(SerializationError, match="unknown wire type"):
+            registry.lookup_name("ghost")
+
+    def test_is_registered(self):
+        registry = TypeRegistry()
+        assert not registry.is_registered(Sample)
+        registry.register(Sample)
+        assert registry.is_registered(Sample)
+
+
+class TestStateHandling:
+    def test_default_state_is_vars(self):
+        registry = TypeRegistry()
+        entry = registry.register(Sample)
+        assert entry.get_state(Sample(value=7)) == {"value": 7}
+
+    def test_getstate_setstate_honoured(self):
+        class WithHooks:
+            def __init__(self):
+                self.a, self.b = 1, 2
+
+            def __getstate__(self):
+                return (self.a, self.b)
+
+            def __setstate__(self, state):
+                self.a, self.b = state
+
+        registry = TypeRegistry()
+        entry = registry.register(WithHooks)
+        instance = WithHooks()
+        state = entry.get_state(instance)
+        assert state == (1, 2)
+        rebuilt = entry.factory()
+        entry.set_state(rebuilt, state)
+        assert (rebuilt.a, rebuilt.b) == (1, 2)
+
+    def test_factory_skips_init(self):
+        inits = []
+
+        class Tracked:
+            def __init__(self):
+                inits.append(1)
+
+        registry = TypeRegistry()
+        entry = registry.register(Tracked)
+        entry.factory()
+        assert inits == []
+
+    def test_custom_hooks(self):
+        registry = TypeRegistry()
+        entry = registry.register(
+            Sample,
+            name="tuple.Sample",
+            get_state=lambda obj: obj.value,
+            set_state=lambda obj, state: setattr(obj, "value", state),
+        )
+        instance = Sample(9)
+        assert entry.get_state(instance) == 9
+
+    def test_bad_default_state_type_rejected(self):
+        registry = TypeRegistry()
+        entry = registry.register(Sample)
+        target = entry.factory()
+        with pytest.raises(SerializationError):
+            entry.set_state(target, "not-a-dict")
+
+
+class TestChild:
+    def test_child_inherits_entries(self):
+        parent = TypeRegistry()
+        parent.register(Sample)
+        child = parent.child()
+        assert child.is_registered(Sample)
+
+    def test_child_additions_do_not_leak_up(self):
+        parent = TypeRegistry()
+        child = parent.child()
+        child.register(Sample)
+        assert not parent.is_registered(Sample)

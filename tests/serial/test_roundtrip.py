@@ -1,0 +1,186 @@
+"""Encode/decode roundtrip tests."""
+
+import pytest
+
+from repro.serial.decoder import Decoder
+from repro.serial.encoder import Encoder
+from repro.serial.registry import TypeRegistry
+
+
+@pytest.fixture
+def codec():
+    registry = TypeRegistry()
+    return Encoder(registry), Decoder(registry), registry
+
+
+def roundtrip(codec, value):
+    encoder, decoder, _registry = codec
+    return decoder.decode(encoder.encode(value))
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            1,
+            -1,
+            255,
+            -256,
+            2**63,
+            -(2**63) - 1,
+            2**200,
+            0.0,
+            -0.5,
+            3.141592653589793,
+            float("inf"),
+            "",
+            "hello",
+            "unicode: héllo ✓ 日本語",
+            b"",
+            b"\x00\xff\x01",
+        ],
+    )
+    def test_value_roundtrips(self, codec, value):
+        assert roundtrip(codec, value) == value
+
+    def test_nan_roundtrips(self, codec):
+        result = roundtrip(codec, float("nan"))
+        assert result != result  # NaN
+
+    def test_bool_stays_bool(self, codec):
+        assert roundtrip(codec, True) is True
+        assert roundtrip(codec, 1) == 1 and roundtrip(codec, 1) is not True
+
+    def test_bytearray_decodes_as_bytes(self, codec):
+        assert roundtrip(codec, bytearray(b"ab")) == b"ab"
+
+
+class TestContainers:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            [],
+            [1, 2, 3],
+            (1, "two", 3.0),
+            {"a": 1, "b": [2, 3]},
+            {1, 2, 3},
+            frozenset({"x", "y"}),
+            [{"nested": ({"deep": [1]},)}],
+            {(1, 2): "tuple-key"},
+        ],
+    )
+    def test_container_roundtrips(self, codec, value):
+        result = roundtrip(codec, value)
+        assert result == value
+        assert type(result) is type(value)
+
+    def test_shared_list_alias_preserved(self, codec):
+        shared = [1, 2]
+        value = {"first": shared, "second": shared}
+        result = roundtrip(codec, value)
+        assert result["first"] is result["second"]
+
+    def test_shared_set_alias_preserved(self, codec):
+        shared = {1}
+        result = roundtrip(codec, [shared, shared])
+        assert result[0] is result[1]
+
+    def test_self_referential_list(self, codec):
+        value: list = [1]
+        value.append(value)
+        result = roundtrip(codec, value)
+        assert result[0] == 1
+        assert result[1] is result
+
+    def test_cycle_through_dict(self, codec):
+        value: dict = {}
+        value["me"] = value
+        result = roundtrip(codec, value)
+        assert result["me"] is result
+
+    def test_distinct_equal_objects_stay_distinct(self, codec):
+        value = [[1], [1]]
+        result = roundtrip(codec, value)
+        assert result[0] == result[1]
+        assert result[0] is not result[1]
+
+
+class TestObjects:
+    def test_object_state_roundtrips(self, codec):
+        encoder, decoder, registry = codec
+
+        class Point:
+            def __init__(self, x=0, y=0):
+                self.x, self.y = x, y
+
+        registry.register(Point)
+        result = decoder.decode(encoder.encode(Point(3, 4)))
+        assert (result.x, result.y) == (3, 4)
+        assert type(result) is Point
+
+    def test_object_cycle(self, codec):
+        encoder, decoder, registry = codec
+
+        class Node:
+            pass
+
+        registry.register(Node)
+        a, b = Node(), Node()
+        a.peer, b.peer = b, a
+        result = decoder.decode(encoder.encode(a))
+        assert result.peer.peer is result
+
+    def test_object_aliasing(self, codec):
+        encoder, decoder, registry = codec
+
+        class Leaf:
+            pass
+
+        registry.register(Leaf)
+        leaf = Leaf()
+        result = decoder.decode(encoder.encode([leaf, leaf]))
+        assert result[0] is result[1]
+
+    def test_constructor_not_called_on_decode(self, codec):
+        encoder, decoder, registry = codec
+        calls = []
+
+        class Logged:
+            def __init__(self):
+                calls.append(1)
+                self.ok = True
+
+        registry.register(Logged)
+        data = encoder.encode(Logged())
+        calls.clear()
+        result = decoder.decode(data)
+        assert calls == []
+        assert result.ok
+
+
+class TestDeterminism:
+    def test_same_value_same_bytes(self, codec):
+        encoder, _decoder, _registry = codec
+        value = {"k": [1, 2, {"x": (3, 4)}], "s": {3, 1, 2}}
+        assert encoder.encode(value) == encoder.encode(value)
+
+    def test_set_order_does_not_matter(self, codec):
+        encoder, _decoder, _registry = codec
+        assert encoder.encode({1, 2, 3}) == encoder.encode({3, 1, 2})
+
+    def test_deep_list_roundtrips(self, codec):
+        value = current = []
+        for _ in range(2000):
+            nxt: list = []
+            current.append(nxt)
+            current = nxt
+        result = roundtrip(codec, value)
+        depth = 0
+        while result:
+            result = result[0]
+            depth += 1
+        assert depth == 2000

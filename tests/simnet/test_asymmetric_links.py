@@ -1,0 +1,62 @@
+"""Asymmetric links: info-appliance uplinks are slower than downlinks.
+
+2002-era cellular data was heavily asymmetric (GPRS: ~40 kb/s down,
+~10 kb/s up).  ``Network.set_link(symmetric=False)`` models that; these
+tests pin the behaviour the mobility scenarios rely on: cheap fetches,
+expensive put-backs.
+"""
+
+import pytest
+
+from repro.core.costs import CostModel
+from repro.core.runtime import World
+from repro.simnet.link import Link
+from tests.models import Counter
+
+DOWNLINK = Link(latency_s=0.05, bandwidth_bps=40e3, name="gprs-down")
+UPLINK = Link(latency_s=0.05, bandwidth_bps=10e3, name="gprs-up")
+
+
+def test_set_link_asymmetric_directions():
+    world = World.loopback(costs=CostModel.zero())
+    network = world.network
+    network.set_link("server", "pda", DOWNLINK, symmetric=False)
+    network.set_link("pda", "server", UPLINK, symmetric=False)
+    assert network.link_for("server", "pda") is DOWNLINK
+    assert network.link_for("pda", "server") is UPLINK
+    world.close()
+
+
+def test_fetch_cheaper_than_putback_on_asymmetric_link():
+    world = World.loopback(costs=CostModel.zero())
+    network = world.network
+    server = world.create_site("server")
+    pda = world.create_site("pda")
+    network.set_link("server", "pda", DOWNLINK, symmetric=False)
+    network.set_link("pda", "server", UPLINK, symmetric=False)
+
+    master = Counter(0)
+    master.blob = b"\xaa" * 4000  # payload that dominates transfer time
+    ref = server.export(master, name="counter")
+
+    start = world.clock.now()
+    replica = pda.replicate(ref)  # by ref: measure the get alone
+    fetch_time = world.clock.now() - start
+
+    start = world.clock.now()
+    pda.put_back(replica)
+    put_time = world.clock.now() - start
+
+    # The big payload rides the fast downlink on fetch and the slow
+    # uplink on put — put must cost roughly the bandwidth ratio more.
+    assert put_time > 2.5 * fetch_time
+
+
+def test_symmetric_default_is_still_symmetric():
+    world = World.loopback(costs=CostModel.zero())
+    network = world.network
+    fast = Link(latency_s=0.001, bandwidth_bps=1e7)
+    network.set_link("a", "b", fast)  # symmetric=True default
+    assert network.link_for("a", "b") is fast
+    assert network.link_for("b", "a") is fast
+    world.close()

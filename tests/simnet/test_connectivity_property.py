@@ -1,0 +1,68 @@
+"""Property-based tests of the connectivity map."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.partition import ConnectivityMap
+
+SITES = ["a", "b", "c", "d"]
+site = st.sampled_from(SITES)
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("disconnect"), site, st.booleans()),
+        st.tuples(st.just("reconnect"), site, st.booleans()),
+        st.tuples(st.just("heal"), site, st.booleans()),
+    ),
+    max_size=30,
+)
+
+
+def apply_ops(cmap: ConnectivityMap, operations) -> set[str]:
+    offline: set[str] = set()
+    for op, target, flag in operations:
+        if op == "disconnect":
+            cmap.disconnect(target, voluntary=flag)
+            offline.add(target)
+        elif op == "reconnect":
+            cmap.reconnect(target)
+            offline.discard(target)
+        else:
+            cmap.heal()
+    return offline
+
+
+@given(ops)
+@settings(max_examples=200, deadline=None)
+def test_communication_is_symmetric(operations):
+    cmap = ConnectivityMap()
+    apply_ops(cmap, operations)
+    for a in SITES:
+        for b in SITES:
+            assert cmap.can_communicate(a, b) == cmap.can_communicate(b, a)
+
+
+@given(ops)
+@settings(max_examples=200, deadline=None)
+def test_disconnect_model_matches_oracle(operations):
+    cmap = ConnectivityMap()
+    offline = apply_ops(cmap, operations)
+    for a in SITES:
+        assert cmap.is_disconnected(a) == (a in offline)
+        for b in SITES:
+            if a == b:
+                assert cmap.can_communicate(a, b)
+            else:
+                expected = a not in offline and b not in offline
+                assert cmap.can_communicate(a, b) == expected  # no partitions active
+
+
+@given(ops)
+@settings(max_examples=100, deadline=None)
+def test_reconnect_all_restores_full_connectivity(operations):
+    cmap = ConnectivityMap()
+    apply_ops(cmap, operations)
+    for name in SITES:
+        cmap.reconnect(name)
+    cmap.heal()
+    assert all(cmap.can_communicate(a, b) for a in SITES for b in SITES)

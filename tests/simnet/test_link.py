@@ -1,0 +1,74 @@
+"""Tests for link cost models."""
+
+import random
+
+import pytest
+
+from repro.simnet.link import LAN_10MBPS, LOCAL, WAN, WIRELESS_GPRS, Link
+
+
+class TestValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Link(latency_s=-1, bandwidth_bps=1e6)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            Link(latency_s=0, bandwidth_bps=0)
+
+    def test_loss_probability_bounds(self):
+        with pytest.raises(ValueError):
+            Link(latency_s=0, bandwidth_bps=1, loss_probability=1.0)
+        with pytest.raises(ValueError):
+            Link(latency_s=0, bandwidth_bps=1, loss_probability=-0.1)
+
+
+class TestTransferTime:
+    def test_latency_only_for_zero_bytes(self):
+        link = Link(latency_s=0.010, bandwidth_bps=1e6)
+        assert link.transfer_time(0) == pytest.approx(0.010)
+
+    def test_bandwidth_term(self):
+        link = Link(latency_s=0.0, bandwidth_bps=8e6)  # 1 MB/s
+        assert link.transfer_time(1_000_000) == pytest.approx(1.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            LOCAL.transfer_time(-1)
+
+    def test_deterministic_without_jitter(self):
+        assert LAN_10MBPS.transfer_time(1234) == LAN_10MBPS.transfer_time(1234)
+
+    def test_jitter_bounded_and_random(self):
+        link = Link(latency_s=0.001, bandwidth_bps=1e9, jitter_s=0.005)
+        rng = random.Random(7)
+        samples = [link.transfer_time(10, rng) for _ in range(50)]
+        base = 0.001 + 80 / 1e9
+        assert all(base <= s <= base + 0.005 for s in samples)
+        assert len(set(samples)) > 1
+
+    def test_calibration_lan_rmi_round_trip(self):
+        """Two minimal frames over the LAN model cost ~2.8 ms — the
+        paper's measured RMI time."""
+        frame = 100  # small invocation frame incl. envelope
+        round_trip = 2 * LAN_10MBPS.transfer_time(frame)
+        assert round_trip == pytest.approx(2.8e-3, rel=0.05)
+
+
+class TestDrops:
+    def test_lossless_never_drops(self):
+        assert not any(LAN_10MBPS.drops() for _ in range(100))
+
+    def test_lossy_drops_sometimes(self):
+        link = Link(latency_s=0, bandwidth_bps=1e6, loss_probability=0.5)
+        rng = random.Random(1)
+        outcomes = [link.drops(rng) for _ in range(200)]
+        assert any(outcomes) and not all(outcomes)
+
+
+class TestPresets:
+    def test_ordering_of_preset_speeds(self):
+        size = 10_000
+        assert LOCAL.transfer_time(size) < LAN_10MBPS.transfer_time(size)
+        assert LAN_10MBPS.transfer_time(size) < WAN.transfer_time(size)
+        assert WAN.transfer_time(size) < WIRELESS_GPRS.transfer_time(size)

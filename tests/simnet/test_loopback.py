@@ -1,0 +1,169 @@
+"""Tests for the simulated-time loopback transport."""
+
+import pytest
+
+from repro.simnet.link import LAN_10MBPS, Link
+from repro.simnet.loopback import LoopbackNetwork
+from repro.util.clock import SimClock
+from repro.util.errors import DisconnectedError, TransportError
+
+
+@pytest.fixture
+def net():
+    clock = SimClock()
+    network = LoopbackNetwork(clock, default_link=LAN_10MBPS)
+    yield network
+    network.close()
+
+
+def _echo(message):
+    return b"echo:" + message.payload
+
+
+class TestCalls:
+    def test_request_response(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        assert net.call("a", "b", b"hi") == b"echo:hi"
+
+    def test_charges_simulated_time_both_ways(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        before = net.clock.now()
+        net.call("a", "b", b"x" * 1000)
+        elapsed = net.clock.now() - before
+        request = LAN_10MBPS.transfer_time(1000 + 64)
+        response = LAN_10MBPS.transfer_time(5 + 1000 + 64)
+        assert elapsed == pytest.approx(request + response)
+
+    def test_unknown_destination_raises(self, net):
+        net.attach("a", lambda m: None)
+        with pytest.raises(TransportError):
+            net.call("a", "ghost", b"x")
+
+    def test_handler_returning_none_raises(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", lambda m: None)
+        with pytest.raises(TransportError):
+            net.call("a", "b", b"x")
+
+    def test_handler_exception_propagates_synchronously(self, net):
+        net.attach("a", lambda m: None)
+
+        def bad(message):
+            raise RuntimeError("server bug")
+
+        net.attach("b", bad)
+        with pytest.raises(RuntimeError):
+            net.call("a", "b", b"x")
+
+    def test_stats_recorded(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        net.call("a", "b", b"payload")
+        assert net.stats.link("a", "b").messages == 1
+        assert net.stats.link("b", "a").messages == 1
+
+
+class TestCasts:
+    def test_cast_delivers_once(self, net):
+        received = []
+        net.attach("a", lambda m: None)
+        net.attach("b", lambda m: received.append(m.payload))
+        net.cast("a", "b", b"one-way")
+        assert received == [b"one-way"]
+
+    def test_cast_charges_one_way_only(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", lambda m: None)
+        before = net.clock.now()
+        net.cast("a", "b", b"")
+        assert net.clock.now() - before == pytest.approx(LAN_10MBPS.transfer_time(64))
+
+
+class TestConnectivity:
+    def test_disconnected_destination(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        net.disconnect("b", voluntary=True)
+        with pytest.raises(DisconnectedError) as info:
+            net.call("a", "b", b"x")
+        assert info.value.voluntary is True
+        assert net.stats.link("a", "b").rejected_disconnected == 1
+
+    def test_disconnected_source(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        net.disconnect("a")
+        with pytest.raises(DisconnectedError):
+            net.call("a", "b", b"x")
+
+    def test_reconnect_restores(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        net.disconnect("b")
+        net.reconnect("b")
+        assert net.call("a", "b", b"ok") == b"echo:ok"
+
+    def test_partition_raises_non_voluntary(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        net.partition({"a"}, {"b"})
+        with pytest.raises(DisconnectedError) as info:
+            net.call("a", "b", b"x")
+        assert info.value.voluntary is False
+        net.heal()
+        assert net.call("a", "b", b"y") == b"echo:y"
+
+    def test_return_path_cut_mid_call(self, net):
+        net.attach("a", lambda m: None)
+
+        def disconnect_caller_then_reply(message):
+            net.disconnect("a")
+            return b"reply"
+
+        net.attach("b", disconnect_caller_then_reply)
+        with pytest.raises(DisconnectedError):
+            net.call("a", "b", b"x")
+
+
+class TestLossAndLifecycle:
+    def test_lossy_link_raises_transport_error(self):
+        network = LoopbackNetwork(
+            SimClock(),
+            default_link=Link(latency_s=0, bandwidth_bps=1e9, loss_probability=0.999),
+            seed=42,
+        )
+        network.attach("a", lambda m: None)
+        network.attach("b", _echo)
+        with pytest.raises(TransportError):
+            for _ in range(100):
+                network.call("a", "b", b"x")
+
+    def test_closed_network_rejects_traffic(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        net.close()
+        with pytest.raises(TransportError):
+            net.call("a", "b", b"x")
+
+    def test_double_attach_rejected(self, net):
+        net.attach("a", lambda m: None)
+        with pytest.raises(ValueError):
+            net.attach("a", lambda m: None)
+
+    def test_detach_then_call_fails(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        net.detach("b")
+        with pytest.raises(TransportError):
+            net.call("a", "b", b"x")
+
+    def test_per_pair_link_override(self, net):
+        slow = Link(latency_s=1.0, bandwidth_bps=1e9)
+        net.set_link("a", "b", slow)
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        before = net.clock.now()
+        net.call("a", "b", b"")
+        assert net.clock.now() - before >= 2.0  # both directions use it

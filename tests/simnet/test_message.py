@@ -1,0 +1,46 @@
+"""Tests for transport frames."""
+
+import pytest
+
+from repro.simnet.message import Message, MessageKind
+
+
+def test_payload_must_be_bytes():
+    with pytest.raises(TypeError):
+        Message(kind=MessageKind.REQUEST, src="a", dst="b", payload="text")  # type: ignore[arg-type]
+
+
+def test_request_ids_unique():
+    a = Message(kind=MessageKind.REQUEST, src="a", dst="b", payload=b"")
+    b = Message(kind=MessageKind.REQUEST, src="a", dst="b", payload=b"")
+    assert a.request_id != b.request_id
+
+
+def test_size_includes_header_envelope():
+    empty = Message(kind=MessageKind.CAST, src="a", dst="b", payload=b"")
+    loaded = Message(kind=MessageKind.CAST, src="a", dst="b", payload=b"x" * 100)
+    assert empty.size > 0
+    assert loaded.size == empty.size + 100
+
+
+def test_response_swaps_direction_and_keeps_correlation():
+    request = Message(kind=MessageKind.REQUEST, src="client", dst="server", payload=b"q")
+    response = request.response(b"a")
+    assert response.kind is MessageKind.RESPONSE
+    assert (response.src, response.dst) == ("server", "client")
+    assert response.request_id == request.request_id
+    assert response.payload == b"a"
+
+
+def test_error_frame():
+    request = Message(kind=MessageKind.REQUEST, src="c", dst="s", payload=b"q")
+    error = request.error(b"oops")
+    assert error.kind is MessageKind.ERROR
+    assert error.request_id == request.request_id
+    assert (error.src, error.dst) == ("s", "c")
+
+
+def test_messages_are_immutable():
+    message = Message(kind=MessageKind.CAST, src="a", dst="b", payload=b"")
+    with pytest.raises(AttributeError):
+        message.src = "other"  # type: ignore[misc]

@@ -1,0 +1,84 @@
+"""Tests for the connectivity map."""
+
+import pytest
+
+from repro.simnet.partition import ConnectivityMap
+
+
+def test_initially_everyone_talks():
+    cmap = ConnectivityMap()
+    assert cmap.can_communicate("a", "b")
+
+
+def test_self_communication_always_allowed():
+    cmap = ConnectivityMap()
+    cmap.disconnect("a")
+    assert cmap.can_communicate("a", "a")
+
+
+def test_disconnect_blocks_both_directions():
+    cmap = ConnectivityMap()
+    cmap.disconnect("a")
+    assert not cmap.can_communicate("a", "b")
+    assert not cmap.can_communicate("b", "a")
+    assert cmap.is_disconnected("a")
+    assert not cmap.is_disconnected("b")
+
+
+def test_reconnect_restores():
+    cmap = ConnectivityMap()
+    cmap.disconnect("a")
+    cmap.reconnect("a")
+    assert cmap.can_communicate("a", "b")
+    cmap.reconnect("a")  # idempotent
+
+
+def test_voluntary_flag_recorded():
+    cmap = ConnectivityMap()
+    cmap.disconnect("a", voluntary=True)
+    record = cmap.disconnection("a")
+    assert record is not None and record.voluntary
+    cmap.disconnect("b")
+    assert cmap.disconnection("b").voluntary is False
+    assert cmap.disconnection("c") is None
+
+
+def test_blocking_disconnection_names_the_offline_site():
+    cmap = ConnectivityMap()
+    cmap.disconnect("b", voluntary=True)
+    record = cmap.blocking_disconnection("a", "b")
+    assert record is not None and record.site_id == "b"
+    assert cmap.blocking_disconnection("a", "c") is None
+
+
+def test_partition_blocks_cross_group_only():
+    cmap = ConnectivityMap()
+    cmap.partition({"a", "b"}, {"c"})
+    assert not cmap.can_communicate("a", "c")
+    assert not cmap.can_communicate("c", "b")
+    assert cmap.can_communicate("a", "b")  # same side
+    assert cmap.can_communicate("d", "a")  # outsiders unaffected
+
+
+def test_heal_removes_partitions_but_not_disconnections():
+    cmap = ConnectivityMap()
+    cmap.partition({"a"}, {"b"})
+    cmap.disconnect("c")
+    cmap.heal()
+    assert cmap.can_communicate("a", "b")
+    assert not cmap.can_communicate("c", "a")
+
+
+def test_overlapping_partition_rejected():
+    cmap = ConnectivityMap()
+    with pytest.raises(ValueError):
+        cmap.partition({"a", "b"}, {"b", "c"})
+
+
+def test_multiple_partitions_stack():
+    cmap = ConnectivityMap()
+    cmap.partition({"a"}, {"b"})
+    cmap.partition({"a"}, {"c"})
+    assert not cmap.can_communicate("a", "b")
+    assert not cmap.can_communicate("a", "c")
+    assert cmap.can_communicate("b", "c")

@@ -1,0 +1,58 @@
+"""Tests for traffic accounting."""
+
+from repro.simnet.stats import NetworkStats
+
+
+def test_record_accumulates_per_link():
+    stats = NetworkStats()
+    stats.record("a", "b", 100, 0.5)
+    stats.record("a", "b", 50, 0.25)
+    link = stats.link("a", "b")
+    assert link.messages == 2
+    assert link.bytes == 150
+    assert link.transfer_seconds == 0.75
+
+
+def test_directions_are_separate():
+    stats = NetworkStats()
+    stats.record("a", "b", 100, 0.1)
+    stats.record("b", "a", 7, 0.1)
+    assert stats.link("a", "b").bytes == 100
+    assert stats.link("b", "a").bytes == 7
+
+
+def test_bytes_between_sums_both_directions():
+    stats = NetworkStats()
+    stats.record("a", "b", 100, 0.0)
+    stats.record("b", "a", 11, 0.0)
+    assert stats.bytes_between("a", "b") == 111
+    assert stats.bytes_between("b", "a") == 111
+    assert stats.bytes_between("a", "c") == 0
+
+
+def test_totals():
+    stats = NetworkStats()
+    stats.record("a", "b", 10, 0.1)
+    stats.record("c", "d", 20, 0.2)
+    assert stats.total_messages == 2
+    assert stats.total_bytes == 30
+    assert abs(stats.total_transfer_seconds - 0.3) < 1e-12
+
+
+def test_drop_and_rejection_counters():
+    stats = NetworkStats()
+    stats.record_drop("a", "b")
+    stats.record_rejected("a", "b")
+    stats.record_rejected("a", "b")
+    link = stats.link("a", "b")
+    assert link.drops == 1
+    assert link.rejected_disconnected == 2
+    assert link.messages == 0
+
+
+def test_reset_clears_everything():
+    stats = NetworkStats()
+    stats.record("a", "b", 10, 0.1)
+    stats.reset()
+    assert stats.total_messages == 0
+    assert stats.total_bytes == 0

@@ -1,0 +1,109 @@
+"""Tests for the localhost TCP transport."""
+
+import threading
+
+import pytest
+
+from repro.simnet.tcp import TcpNetwork
+from repro.util.clock import WallClock
+from repro.util.errors import DisconnectedError, TransportError
+
+
+@pytest.fixture
+def net():
+    network = TcpNetwork(WallClock())
+    yield network
+    network.close()
+
+
+def _echo(message):
+    return b"echo:" + message.payload
+
+
+class TestBasics:
+    def test_request_response_over_sockets(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        assert net.call("a", "b", b"hello") == b"echo:hello"
+
+    def test_large_payload_roundtrip(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        blob = bytes(range(256)) * 4096  # 1 MiB
+        assert net.call("a", "b", blob) == b"echo:" + blob
+
+    def test_binary_safety(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", lambda m: m.payload[::-1])
+        payload = b"\x00\x01\xff\xfe\n\r\0"
+        assert net.call("a", "b", payload) == payload[::-1]
+
+    def test_each_site_gets_a_port(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        assert net.port_of("a") != net.port_of("b")
+        with pytest.raises(TransportError):
+            net.port_of("ghost")
+
+    def test_cast_delivered(self, net):
+        received = []
+        done = threading.Event()
+
+        def on_cast(message):
+            received.append(message.payload)
+            done.set()
+
+        net.attach("a", lambda m: None)
+        net.attach("b", on_cast)
+        net.cast("a", "b", b"fire")
+        assert done.wait(2.0)
+        assert received == [b"fire"]
+
+
+class TestFailureModes:
+    def test_handler_exception_reported(self, net):
+        net.attach("a", lambda m: None)
+
+        def bad(message):
+            raise ValueError("remote bug")
+
+        net.attach("b", bad)
+        with pytest.raises(TransportError, match="remote bug"):
+            net.call("a", "b", b"x")
+
+    def test_detached_site_unreachable(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        net.detach("b")
+        with pytest.raises(TransportError):
+            net.call("a", "b", b"x")
+
+    def test_logical_disconnection_enforced(self, net):
+        """A 'mobile' site refuses traffic even though the socket works."""
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        net.disconnect("b", voluntary=True)
+        with pytest.raises(DisconnectedError):
+            net.call("a", "b", b"x")
+        net.reconnect("b")
+        assert net.call("a", "b", b"y") == b"echo:y"
+
+    def test_concurrent_clients(self, net):
+        net.attach("server", _echo)
+        results = {}
+        errors = []
+
+        def client(name):
+            try:
+                net.attach(name, lambda m: None)
+                results[name] = net.call(name, "server", name.encode())
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(f"c{i}",)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(results) == 6

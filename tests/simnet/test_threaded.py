@@ -1,0 +1,150 @@
+"""Tests for the threaded transport."""
+
+import threading
+import time
+
+import pytest
+
+from repro.simnet.threaded import ThreadedNetwork
+from repro.util.clock import WallClock
+from repro.util.errors import DisconnectedError, TransportError
+
+
+@pytest.fixture
+def net():
+    network = ThreadedNetwork(WallClock())
+    yield network
+    network.close()
+
+
+def _echo(message):
+    return b"echo:" + message.payload
+
+
+class TestBasics:
+    def test_request_response(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        assert net.call("a", "b", b"hi") == b"echo:hi"
+
+    def test_many_sequential_calls(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        for index in range(50):
+            payload = f"m{index}".encode()
+            assert net.call("a", "b", payload) == b"echo:" + payload
+
+    def test_cast_delivered(self, net):
+        received = []
+        done = threading.Event()
+
+        def on_cast(message):
+            received.append(message.payload)
+            done.set()
+
+        net.attach("a", lambda m: None)
+        net.attach("b", on_cast)
+        net.cast("a", "b", b"fire")
+        assert done.wait(2.0)
+        assert received == [b"fire"]
+
+    def test_handler_exception_becomes_transport_error(self, net):
+        net.attach("a", lambda m: None)
+
+        def bad(message):
+            raise ValueError("server bug")
+
+        net.attach("b", bad)
+        with pytest.raises(TransportError, match="server bug"):
+            net.call("a", "b", b"x")
+
+    def test_handler_none_response_is_error(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", lambda m: None)
+        with pytest.raises(TransportError):
+            net.call("a", "b", b"x")
+
+
+class TestConcurrency:
+    def test_parallel_callers(self, net):
+        calls = []
+
+        def slowish(message):
+            time.sleep(0.01)
+            calls.append(message.payload)
+            return message.payload.upper()
+
+        net.attach("server", slowish)
+        results: dict[str, bytes] = {}
+        errors: list[Exception] = []
+
+        def client(name: str):
+            try:
+                net.attach(name, lambda m: None)
+                results[name] = net.call(name, "server", name.encode())
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(f"c{i}",)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert results == {f"c{i}": f"c{i}".upper().encode() for i in range(8)}
+
+    def test_reentrant_call_from_handler(self, net):
+        """b's handler calls c while serving a — must not deadlock."""
+        net.attach("a", lambda m: None)
+        net.attach("c", _echo)
+
+        def relay(message):
+            inner = net.call("b", "c", b"inner:" + message.payload)
+            return b"relay:" + inner
+
+        net.attach("b", relay)
+        assert net.call("a", "b", b"x") == b"relay:echo:inner:x"
+
+
+class TestFailureModes:
+    def test_timeout_when_handler_hangs(self, net):
+        net.attach("a", lambda m: None)
+
+        def hang(message):
+            time.sleep(5)
+            return b""
+
+        net.attach("b", hang)
+        with pytest.raises(TransportError, match="timed out"):
+            net.call("a", "b", b"x", timeout=0.1)
+
+    def test_disconnection_respected(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        net.disconnect("b")
+        with pytest.raises(DisconnectedError):
+            net.call("a", "b", b"x")
+
+    def test_close_unblocks_waiters(self, net):
+        net.attach("a", lambda m: None)
+
+        def hang(message):
+            time.sleep(5)
+            return b""
+
+        net.attach("b", hang)
+        failure: list[Exception] = []
+
+        def caller():
+            try:
+                net.call("a", "b", b"x", timeout=4)
+            except TransportError as exc:
+                failure.append(exc)
+
+        thread = threading.Thread(target=caller)
+        thread.start()
+        time.sleep(0.05)
+        net.close()
+        thread.join(timeout=2)
+        assert not thread.is_alive()
+        assert failure

@@ -1,0 +1,76 @@
+"""Tests for the network trace recorder."""
+
+import pytest
+
+from repro.simnet.loopback import LoopbackNetwork
+from repro.simnet.trace import TraceRecorder
+from repro.util.clock import SimClock
+
+
+@pytest.fixture
+def net():
+    network = LoopbackNetwork(SimClock())
+    network.attach("a", lambda m: None)
+    network.attach("b", lambda m: b"pong:" + m.payload)
+    yield network
+    network.close()
+
+
+def test_records_request_and_response(net):
+    with TraceRecorder(net) as trace:
+        net.call("a", "b", b"ping")
+    assert trace.sequence() == [("request", "a", "b"), ("response", "b", "a")]
+    assert trace.round_trips() == 1
+
+
+def test_records_casts(net):
+    with TraceRecorder(net) as trace:
+        net.cast("a", "b", b"one-way")
+    assert trace.sequence() == [("cast", "a", "b")]
+    assert trace.round_trips() == 0
+
+
+def test_sizes_and_totals(net):
+    with TraceRecorder(net) as trace:
+        net.call("a", "b", b"x" * 100)
+    assert trace.bytes_total() == sum(e.size for e in trace.events)
+    assert trace.events[0].size >= 100
+
+
+def test_between_filters_pairs(net):
+    net.attach("c", lambda m: b"")
+    with TraceRecorder(net) as trace:
+        net.call("a", "b", b"1")
+        net.call("a", "c", b"2")
+    assert len(trace.between("a", "b")) == 2
+    assert len(trace.between("a", "c")) == 2
+    assert len(trace.between("b", "c")) == 0
+
+
+def test_detach_stops_recording(net):
+    trace = TraceRecorder(net)
+    net.call("a", "b", b"seen")
+    trace.detach()
+    net.call("a", "b", b"unseen")
+    assert len(trace) == 2  # request+response of the first call only
+
+
+def test_tracing_does_not_change_costs(net):
+    before = net.clock.now()
+    net.call("a", "b", b"warm")
+    untraced_cost = net.clock.now() - before
+
+    with TraceRecorder(net):
+        before = net.clock.now()
+        net.call("a", "b", b"warm")
+        traced_cost = net.clock.now() - before
+    assert traced_cost == pytest.approx(untraced_cost)
+
+
+def test_render_and_clear(net):
+    with TraceRecorder(net) as trace:
+        assert trace.render() == "(no traffic)"
+        net.call("a", "b", b"x")
+        assert "request" in trace.render()
+        trace.clear()
+        assert len(trace) == 0

@@ -1,0 +1,76 @@
+"""Tests for the public facade: what `from repro import obiwan` promises."""
+
+import pytest
+
+from repro import obiwan
+
+
+class TestSurface:
+    def test_all_names_resolve(self):
+        for name in obiwan.__all__:
+            assert hasattr(obiwan, name), name
+
+    def test_compile_aliases_compile_class(self):
+        assert obiwan.compile is obiwan.compile_class
+
+    def test_link_presets_exported(self):
+        assert obiwan.LAN_10MBPS.bandwidth_bps == 10e6
+        assert obiwan.WIRELESS_GPRS.latency_s > obiwan.LAN_10MBPS.latency_s
+
+    def test_errors_catchable_from_facade(self):
+        assert issubclass(obiwan.EncapsulationError, obiwan.ObiwanError)
+        assert issubclass(obiwan.DisconnectedError, obiwan.ObiwanError)
+
+    def test_package_root_reexports(self):
+        import repro
+
+        assert repro.obiwan is obiwan
+        assert isinstance(repro.__version__, str)
+
+
+class TestDocstringQuickstartActuallyRuns:
+    def test_module_docstring_scenario(self):
+        """The scenario in obiwan's module docstring, executed."""
+
+        @obiwan.compile
+        class FacadeAgenda:
+            def __init__(self):
+                self.entries = []
+
+            def add(self, text):
+                self.entries.append(text)
+
+            def all(self):
+                return list(self.entries)
+
+        world = obiwan.World.loopback()
+        office = world.create_site("office-pc")
+        pda = world.create_site("pda")
+
+        master = FacadeAgenda()
+        office.export(master, name="facade-agenda")
+
+        stub = pda.remote_stub("facade-agenda")
+        stub.add("via rmi")
+        assert master.entries == ["via rmi"]
+
+        replica = pda.replicate("facade-agenda")
+        replica.add("via replica")
+        pda.put_back(replica)
+        assert master.entries == ["via rmi", "via replica"]
+
+    def test_modes_from_facade(self):
+        assert obiwan.Incremental(3).chunk == 3
+        assert obiwan.Transitive().unbounded
+        assert obiwan.Cluster(size=4).clustered
+
+    def test_is_obiwan_and_interface_of(self):
+        @obiwan.compile
+        class FacadeProbe:
+            def poke(self):
+                return "ok"
+
+        probe = FacadeProbe()
+        assert obiwan.is_obiwan(probe)
+        assert "poke" in obiwan.interface_of(probe)
+        assert obiwan.obi_id_of(probe) == obiwan.obi_id_of(probe)

@@ -1,0 +1,51 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.util import errors
+
+
+def test_all_errors_derive_from_obiwan_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception) and obj.__module__ == errors.__name__:
+            assert issubclass(obj, errors.ObiwanError), name
+
+
+def test_disconnected_is_transport_error():
+    assert issubclass(errors.DisconnectedError, errors.TransportError)
+
+
+def test_object_fault_is_replication_error():
+    assert issubclass(errors.ObjectFaultError, errors.ReplicationError)
+
+
+def test_stale_replica_is_consistency_error():
+    assert issubclass(errors.StaleReplicaError, errors.ConsistencyError)
+
+
+def test_cluster_error_is_replication_error():
+    assert issubclass(errors.ClusterError, errors.ReplicationError)
+
+
+def test_disconnected_voluntary_flag():
+    assert errors.DisconnectedError().voluntary is None
+    assert errors.DisconnectedError("x", voluntary=True).voluntary is True
+    assert errors.DisconnectedError("x", voluntary=False).voluntary is False
+
+
+def test_remote_error_carries_remote_context():
+    err = errors.RemoteError("boom", remote_type="ValueError", remote_traceback="tb")
+    assert err.remote_type == "ValueError"
+    assert err.remote_traceback == "tb"
+    assert "boom" in str(err)
+
+
+def test_transaction_aborted_conflicts_are_tuple():
+    err = errors.TransactionAborted("no", conflicts=[("a", 1, 2)])
+    assert err.conflicts == (("a", 1, 2),)
+
+
+def test_catching_base_catches_everything():
+    with pytest.raises(errors.ObiwanError):
+        raise errors.EncapsulationError("nope")

@@ -1,0 +1,80 @@
+"""Tests for the event bus."""
+
+import pytest
+
+from repro.util.events import EventBus
+
+
+def test_publish_reaches_subscriber():
+    bus = EventBus()
+    hits = []
+    bus.subscribe("topic", lambda *a, **k: hits.append((a, k)))
+    count = bus.publish("topic", 1, key="v")
+    assert count == 1
+    assert hits == [((1,), {"key": "v"})]
+
+
+def test_publish_without_subscribers_returns_zero():
+    assert EventBus().publish("nobody") == 0
+
+
+def test_handlers_run_in_subscription_order():
+    bus = EventBus()
+    order = []
+    bus.subscribe("t", lambda: order.append("first"))
+    bus.subscribe("t", lambda: order.append("second"))
+    bus.publish("t")
+    assert order == ["first", "second"]
+
+
+def test_unsubscribe_stops_delivery():
+    bus = EventBus()
+    hits = []
+    unsubscribe = bus.subscribe("t", lambda: hits.append(1))
+    bus.publish("t")
+    unsubscribe()
+    bus.publish("t")
+    assert hits == [1]
+    unsubscribe()  # second call is harmless
+
+
+def test_topics_are_independent():
+    bus = EventBus()
+    hits = []
+    bus.subscribe("a", lambda: hits.append("a"))
+    bus.subscribe("b", lambda: hits.append("b"))
+    bus.publish("a")
+    assert hits == ["a"]
+
+
+def test_handler_exception_propagates():
+    bus = EventBus()
+
+    def bad():
+        raise RuntimeError("handler bug")
+
+    bus.subscribe("t", bad)
+    with pytest.raises(RuntimeError):
+        bus.publish("t")
+
+
+def test_subscriber_count():
+    bus = EventBus()
+    assert bus.subscriber_count("t") == 0
+    bus.subscribe("t", lambda: None)
+    bus.subscribe("t", lambda: None)
+    assert bus.subscriber_count("t") == 2
+
+
+def test_mutation_during_publish_is_safe():
+    bus = EventBus()
+    hits = []
+
+    def self_removing():
+        hits.append(1)
+        remove()
+
+    remove = bus.subscribe("t", self_removing)
+    bus.publish("t")
+    bus.publish("t")
+    assert hits == [1]

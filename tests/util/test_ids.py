@@ -1,0 +1,48 @@
+"""Tests for repro.util.ids."""
+
+import threading
+
+from repro.util.ids import IdGenerator, new_object_id, new_request_id, new_site_id
+
+
+class TestIdGenerator:
+    def test_prefix_and_monotonic(self):
+        gen = IdGenerator("thing")
+        first, second = gen(), gen()
+        assert first.startswith("thing:")
+        assert first != second
+        assert int(first.split(":")[1]) < int(second.split(":")[1])
+
+    def test_reset_restarts(self):
+        gen = IdGenerator("x")
+        gen()
+        gen.reset()
+        assert gen() == "x:1"
+
+    def test_thread_safety_no_duplicates(self):
+        gen = IdGenerator("t")
+        seen: list[str] = []
+        lock = threading.Lock()
+
+        def take():
+            local = [gen() for _ in range(500)]
+            with lock:
+                seen.extend(local)
+
+        threads = [threading.Thread(target=take) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == len(set(seen)) == 2000
+
+
+class TestModuleGenerators:
+    def test_distinct_prefixes(self):
+        assert new_site_id().startswith("site:")
+        assert new_object_id().startswith("obj:")
+        assert new_request_id().startswith("req:")
+
+    def test_uniqueness_across_calls(self):
+        ids = {new_object_id() for _ in range(100)}
+        assert len(ids) == 100

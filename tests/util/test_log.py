@@ -1,0 +1,87 @@
+"""Tests for the site event logger."""
+
+import io
+
+from repro.mobility.connectivity import ConnectivityManager
+from repro.util.log import SiteLogger
+from tests.models import Counter, make_chain
+
+
+def test_logs_the_replication_lifecycle(zsites):
+    provider, consumer = zsites
+    with SiteLogger(consumer) as log:
+        master = Counter(0)
+        provider.export(master, name="counter")
+        replica = consumer.replicate("counter")
+        replica.increment()
+        consumer.put_back(replica)
+        consumer.refresh(replica)
+
+    assert log.matching("replicate")
+    assert log.matching("refresh")
+    assert len(log) >= 2
+
+
+def test_provider_side_events(zsites):
+    provider, consumer = zsites
+    with SiteLogger(provider) as log:
+        master = Counter(0)
+        provider.export(master, name="counter")
+        replica = consumer.replicate("counter")
+        replica.increment()
+        consumer.put_back(replica)
+    assert log.matching("export")
+    assert log.matching("put")
+    assert "v2" in log.matching("put")[0]
+
+
+def test_fault_events_logged(zsites):
+    provider, consumer = zsites
+    provider.export(make_chain(3), name="chain")
+    with SiteLogger(consumer) as log:
+        head = consumer.replicate("chain")
+        head.get_next().get_index()
+    assert log.matching("fault")
+    assert "resolved" in log.matching("fault")[0]
+
+
+def test_connectivity_events_logged(zsites):
+    _provider, consumer = zsites
+    manager = ConnectivityManager(consumer)
+    with SiteLogger(consumer) as log:
+        manager.go_offline(voluntary=True)
+        manager.go_online()
+    assert log.matching("offline (voluntary)")
+    assert log.matching("online")
+
+
+def test_stream_output(zsites):
+    provider, consumer = zsites
+    buffer = io.StringIO()
+    with SiteLogger(consumer, stream=buffer):
+        provider.export(Counter(0), name="c2")
+        consumer.replicate("c2")
+    assert "replicate" in buffer.getvalue()
+    assert consumer.name in buffer.getvalue()
+
+
+def test_close_stops_logging(zsites):
+    provider, consumer = zsites
+    log = SiteLogger(consumer)
+    provider.export(Counter(0), name="c3")
+    consumer.replicate("c3")
+    count = len(log)
+    log.close()
+    consumer.replicate("c3")
+    assert len(log) == count
+
+
+def test_ring_capacity(zsites):
+    provider, consumer = zsites
+    master = Counter(0)
+    provider.export(master, name="c4")
+    with SiteLogger(provider, capacity=5) as log:
+        replica = consumer.replicate("c4")
+        for _ in range(20):
+            consumer.put_back(replica)
+        assert len(log) == 5

@@ -1,0 +1,63 @@
+"""Tests for byte-size estimation and formatting."""
+
+import pytest
+
+from repro.util.sizes import estimate_payload_size, format_bytes
+
+
+class TestEstimate:
+    def test_primitives_have_positive_size(self):
+        for value in (None, True, False, 0, 3.14, "", "hello", b"bytes"):
+            assert estimate_payload_size(value) > 0
+
+    def test_strings_scale_with_content(self):
+        assert estimate_payload_size("x" * 1000) > estimate_payload_size("x") + 900
+
+    def test_bytes_scale_with_content(self):
+        assert estimate_payload_size(b"\0" * 4096) >= 4096
+
+    def test_unicode_counts_encoded_bytes(self):
+        assert estimate_payload_size("é" * 10) >= 20
+
+    def test_containers_sum_members(self):
+        single = estimate_payload_size("abcd")
+        assert estimate_payload_size(["abcd"] * 10) > 9 * single
+
+    def test_dict_counts_keys_and_values(self):
+        d = {"key": "value"}
+        assert estimate_payload_size(d) > estimate_payload_size("key")
+
+    def test_object_uses_attributes(self):
+        class Thing:
+            def __init__(self):
+                self.data = "x" * 500
+
+        assert estimate_payload_size(Thing()) > 500
+
+    def test_cycles_terminate(self):
+        lst: list = []
+        lst.append(lst)
+        assert estimate_payload_size(lst) > 0
+
+    def test_big_int_larger_than_small(self):
+        assert estimate_payload_size(2**200) > estimate_payload_size(1)
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        ("count", "expected"),
+        [
+            (0, "0 B"),
+            (64, "64 B"),
+            (1023, "1023 B"),
+            (1024, "1 KB"),
+            (65536, "64 KB"),
+            (1024 * 1024, "1 MB"),
+            (3 * 1024**3, "3 GB"),
+        ],
+    )
+    def test_exact_values(self, count, expected):
+        assert format_bytes(count) == expected
+
+    def test_fractional(self):
+        assert format_bytes(1536) == "1.5 KB"
