@@ -1,0 +1,40 @@
+"""obilint: replication-safety static analysis for OBIWAN code.
+
+The paper's ``obicomp`` derives interfaces and proxies so "the programmer
+only has to worry about the business logic" — but the reflective port can
+only validate a class when it is decorated, at run time.  ``obilint``
+closes the gap: it walks Python sources *before* they run and flags
+object-graph shapes and concurrency patterns that are unsafe to ship
+across a site boundary.
+
+Usage::
+
+    python -m repro.analysis src/repro examples --strict
+
+or programmatically::
+
+    from repro.analysis import analyze_paths
+    report = analyze_paths(["src/repro"])
+    for finding in report.findings:
+        print(finding.format())
+
+The rule catalog lives in :mod:`repro.analysis.rules`; the contract the
+rules enforce (reserved proxy-in method names, wire-serializable types)
+is derived from the live obicomp/serialization machinery in
+:mod:`repro.analysis.contract`, so the analyzer and the runtime cannot
+drift apart.
+"""
+
+from repro.analysis.engine import AnalysisReport, Analyzer, analyze_paths
+from repro.analysis.findings import Finding, Rule, Severity
+from repro.analysis.rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisReport",
+    "Analyzer",
+    "Finding",
+    "Rule",
+    "Severity",
+    "analyze_paths",
+]

@@ -1,0 +1,117 @@
+"""The contract obilint enforces, derived from the live runtime.
+
+Rather than hard-coding a parallel list of "reserved" names and "safe"
+types that would rot as the platform evolves, this module interrogates
+the same machinery obicomp and the serializer use:
+
+* reserved proxy-in method names come from running
+  :func:`~repro.core.obicomp.interface.derive_interface` over
+  :class:`~repro.core.proxy_in.ProxyIn` — literally the obicomp view of
+  the control surface — plus the paper's fault-resolution verbs;
+* the wire-encodable builtin types mirror :mod:`repro.serial.tags` (one
+  entry per tag byte);
+* the replication error hierarchy is read off
+  :mod:`repro.util.errors`.
+
+``tests/analysis/test_contract.py`` cross-checks these sets against the
+serializer registry so a drift fails the suite, not a user.
+"""
+
+from __future__ import annotations
+
+from repro.core.obicomp.interface import derive_interface
+from repro.core.proxy_in import ProxyIn
+from repro.util import errors as _errors
+
+#: Method names a compiled class must not define: obicomp's proxy-in
+#: control surface (get/put/demand/get_version) plus the paper's
+#: fault-resolution verbs, which the graph-walker treats specially.
+RESERVED_CONTROL_METHODS: frozenset[str] = frozenset(
+    derive_interface(ProxyIn).methods
+) | frozenset({"updateMember", "update_member", "setProvider", "setDemander"})
+
+#: Builtin types with a wire tag in :mod:`repro.serial.tags`.  Everything
+#: else crosses the wire only via the type registry.
+WIRE_ENCODABLE_BUILTINS: frozenset[type] = frozenset(
+    {type(None), bool, int, float, str, bytes, list, tuple, dict, set, frozenset}
+)
+
+#: Dotted callables whose results can never cross a site boundary: OS
+#: handles and scheduler state.  Keys are fully-qualified call names as
+#: they appear after import resolution; values say why.
+UNSERIALIZABLE_FACTORIES: dict[str, str] = {
+    "threading.Lock": "a lock is scheduler state on one machine",
+    "threading.RLock": "a lock is scheduler state on one machine",
+    "threading.Condition": "a condition variable is scheduler state",
+    "threading.Semaphore": "a semaphore is scheduler state",
+    "threading.BoundedSemaphore": "a semaphore is scheduler state",
+    "threading.Event": "an event is scheduler state",
+    "threading.Thread": "a thread handle is process-local",
+    "threading.Timer": "a timer thread is process-local",
+    "socket.socket": "a socket is an OS handle",
+    "socket.create_connection": "a socket is an OS handle",
+    "subprocess.Popen": "a process handle is machine-local",
+    "open": "a file handle is an OS handle",
+    "io.open": "a file handle is an OS handle",
+    "queue.Queue": "a queue wraps locks and condition variables",
+    "queue.LifoQueue": "a queue wraps locks and condition variables",
+    "queue.PriorityQueue": "a queue wraps locks and condition variables",
+    "queue.SimpleQueue": "a queue wraps locks and condition variables",
+}
+
+#: Exception class names in the OBIWAN hierarchy that must never be
+#: silently swallowed — a dropped replication failure corrupts the
+#: consumer's view of the object graph.
+REPLICATION_ERROR_NAMES: frozenset[str] = frozenset(
+    name
+    for name, obj in vars(_errors).items()
+    if isinstance(obj, type)
+    and issubclass(obj, _errors.ObiwanError)
+)
+
+#: Concrete consistency protocols (``ConsistencyProtocol`` subclasses).
+#: Subclassing one of these and overriding a verb without delegating to
+#: ``super()`` silently drops the parent protocol's bookkeeping.
+def concrete_protocol_names() -> frozenset[str]:
+    from repro.consistency.base import ConsistencyProtocol
+
+    # Importing the package registers every shipped protocol subclass.
+    import repro.consistency  # noqa: F401
+
+    names = set()
+    pending = list(ConsistencyProtocol.__subclasses__())
+    while pending:
+        cls = pending.pop()
+        names.add(cls.__name__)
+        pending.extend(cls.__subclasses__())
+    return frozenset(names)
+
+#: Verbs whose overrides must delegate (see rule OBI105).
+PROTOCOL_VERBS: frozenset[str] = frozenset({"get", "put", "read", "write_back"})
+
+#: Module-level callables that read ambient time or entropy.  Outside
+#: :mod:`repro.util.clock` they break deterministic simnet replays.
+NONDETERMINISTIC_CALLS: dict[str, str] = {
+    "time.time": "use a Clock from repro.util.clock",
+    "time.time_ns": "use a Clock from repro.util.clock",
+    "time.monotonic": "use a Clock from repro.util.clock",
+    "time.monotonic_ns": "use a Clock from repro.util.clock",
+    "time.perf_counter": "use a Clock from repro.util.clock",
+    "time.perf_counter_ns": "use a Clock from repro.util.clock",
+    "datetime.datetime.now": "use a Clock from repro.util.clock",
+    "datetime.datetime.utcnow": "use a Clock from repro.util.clock",
+}
+
+#: ``random`` module functions drawing from the shared, unseeded global
+#: generator.  A seeded ``random.Random(seed)`` instance is fine.
+GLOBAL_RANDOM_MODULE = "random"
+
+#: The one module allowed to touch ambient time directly.
+CLOCK_MODULE_SUFFIX = "util/clock.py"
+
+#: Call attribute names that put bytes on the wire.  Holding a lock
+#: across one of these serializes the network under the lock and — for
+#: reentrant handler paths — deadlocks.
+NETWORK_SEND_METHODS: frozenset[str] = frozenset(
+    {"send", "sendall", "sendto", "call", "cast", "invoke", "invoke_oneway", "_transmit"}
+)

@@ -1,0 +1,204 @@
+"""The obilint engine: file collection, parsing, rule running.
+
+The engine is deliberately simple — parse each module once, hand the
+parsed :class:`ModuleSource` to every selected rule, filter the findings
+through the module's suppression comments, and collate a report.  All
+policy (which severities fail the run) lives in the report so the CLI
+and CI can share it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding, Rule, Severity
+from repro.analysis.suppressions import SuppressionIndex, parse_suppressions
+from repro.analysis.visitor import import_map
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hg", ".venv", "node_modules"})
+
+
+@dataclass
+class ModuleSource:
+    """One parsed module, as rules see it."""
+
+    path: Path
+    display_path: str
+    text: str
+    tree: ast.Module
+    suppressions: SuppressionIndex
+    imports: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, *, display_path: str | None = None) -> "ModuleSource":
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        return cls(
+            path=path,
+            display_path=display_path if display_path is not None else str(path),
+            text=text,
+            tree=tree,
+            suppressions=parse_suppressions(text),
+            imports=import_map(tree),
+        )
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one run produced."""
+
+    findings: list[Finding]
+    suppressed: list[Finding]
+    files_analyzed: int
+    parse_failures: list[Finding]
+
+    def counts(self) -> dict[str, int]:
+        counts = {"error": 0, "warning": 0}
+        for finding in self.findings:
+            counts[str(finding.severity)] += 1
+        counts["error"] += len(self.parse_failures)
+        return counts
+
+    def failed(self, *, strict: bool = False) -> bool:
+        counts = self.counts()
+        if counts["error"]:
+            return True
+        return strict and counts["warning"] > 0
+
+    def all_findings(self) -> list[Finding]:
+        ordered = self.parse_failures + self.findings
+        return sorted(ordered, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+class Analyzer:
+    """Runs a rule catalog over a set of paths."""
+
+    def __init__(
+        self,
+        rules: list[Rule],
+        *,
+        select: set[str] | None = None,
+        ignore: set[str] | None = None,
+        strict: bool = False,
+    ):
+        chosen = rules
+        if select:
+            keys = {k.upper() if k.upper().startswith("OBI") else k.lower() for k in select}
+            chosen = [r for r in chosen if r.id in keys or r.name in keys]
+        if ignore:
+            keys = {k.upper() if k.upper().startswith("OBI") else k.lower() for k in ignore}
+            chosen = [r for r in chosen if r.id not in keys and r.name not in keys]
+        self.rules = chosen
+        self.strict = strict
+
+    # ------------------------------------------------------------------
+    # file collection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def collect_files(paths: list[str | Path]) -> list[Path]:
+        files: list[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                for candidate in sorted(path.rglob("*.py")):
+                    if not _SKIP_DIRS & set(candidate.parts):
+                        files.append(candidate)
+            elif path.is_file():
+                files.append(path)
+            else:
+                raise FileNotFoundError(f"no such file or directory: {path}")
+        # De-duplicate while preserving order (overlapping path arguments).
+        seen: set[Path] = set()
+        unique = []
+        for path in files:
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                unique.append(path)
+        return unique
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, paths: list[str | Path]) -> AnalysisReport:
+        files = self.collect_files(paths)
+        findings: list[Finding] = []
+        suppressed: list[Finding] = []
+        parse_failures: list[Finding] = []
+        for path in files:
+            try:
+                module = ModuleSource.parse(path)
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                line = getattr(exc, "lineno", 1) or 1
+                parse_failures.append(
+                    Finding(
+                        rule="OBI001",
+                        name="parse-error",
+                        severity=Severity.ERROR,
+                        path=str(path),
+                        line=line,
+                        col=1,
+                        message=f"cannot parse: {exc.msg if isinstance(exc, SyntaxError) else exc}",
+                    )
+                )
+                continue
+            for rule in self.rules:
+                for finding in rule.check(module):
+                    if module.suppressions.matches(finding.rule, finding.name, finding.line):
+                        suppressed.append(finding)
+                    else:
+                        findings.append(finding)
+            if self.strict:
+                findings.extend(self._bare_suppressions(module))
+        report = AnalysisReport(
+            findings=findings,
+            suppressed=suppressed,
+            files_analyzed=len(files),
+            parse_failures=parse_failures,
+        )
+        return report
+
+    @staticmethod
+    def _bare_suppressions(module: ModuleSource) -> list[Finding]:
+        """In strict mode a suppression must say *why* (after ``--``)."""
+        out = []
+        for suppression in module.suppressions.all():
+            if not suppression.justification:
+                out.append(
+                    Finding(
+                        rule="OBI002",
+                        name="bare-suppression",
+                        severity=Severity.ERROR,
+                        path=module.display_path,
+                        line=suppression.line,
+                        col=1,
+                        message=(
+                            "suppression without justification; append "
+                            "'-- <reason>' explaining why the hazard is acceptable"
+                        ),
+                    )
+                )
+        return out
+
+
+def analyze_paths(
+    paths: list[str | Path],
+    *,
+    rules: list[Rule] | None = None,
+    select: set[str] | None = None,
+    ignore: set[str] | None = None,
+    strict: bool = False,
+) -> AnalysisReport:
+    """Convenience wrapper: run the default catalog over ``paths``."""
+    from repro.analysis.rules import build_rules
+
+    analyzer = Analyzer(
+        rules if rules is not None else build_rules(),
+        select=select,
+        ignore=ignore,
+        strict=strict,
+    )
+    return analyzer.run(paths)

@@ -1,0 +1,58 @@
+"""Rendering analysis reports: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import AnalysisReport
+from repro.analysis.findings import Rule
+
+#: Schema version of the JSON report; bump on incompatible changes.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(report: AnalysisReport, *, strict: bool = False, verbose: bool = False) -> str:
+    lines = [finding.format() for finding in report.all_findings()]
+    if verbose and report.suppressed:
+        for finding in sorted(report.suppressed, key=lambda f: (f.path, f.line)):
+            lines.append(f"{finding.format()} [suppressed]")
+    counts = report.counts()
+    summary = (
+        f"obilint: {report.files_analyzed} files, "
+        f"{counts['error']} errors, {counts['warning']} warnings, "
+        f"{len(report.suppressed)} suppressed"
+    )
+    if report.failed(strict=strict):
+        summary += " — FAIL"
+    else:
+        summary += " — OK"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport, *, strict: bool = False) -> str:
+    counts = report.counts()
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_analyzed": report.files_analyzed,
+        "strict": strict,
+        "failed": report.failed(strict=strict),
+        "summary": {
+            "errors": counts["error"],
+            "warnings": counts["warning"],
+            "suppressed": len(report.suppressed),
+        },
+        "findings": [finding.to_json() for finding in report.all_findings()],
+        "suppressed": [finding.to_json() for finding in report.suppressed],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_catalog(rules: list[Rule]) -> str:
+    lines = []
+    for rule in rules:
+        lines.append(f"{rule.id}  {rule.name}  [{rule.severity}]")
+        lines.append(f"    {rule.description}")
+        if rule.rationale:
+            lines.append(f"    why: {rule.rationale}")
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Rules about obicomp-compiled classes (OBI101, OBI102, OBI106).
+
+These mirror, statically, what the runtime either enforces at decoration
+time (``__slots__``) or cannot see at all (unserializable fields, control
+-name shadowing, shared mutable class defaults).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis.contract import RESERVED_CONTROL_METHODS, UNSERIALIZABLE_FACTORIES
+from repro.analysis.findings import Finding, Rule, Severity
+from repro.analysis.visitor import (
+    is_compiled_classdef,
+    is_mutable_value,
+    iter_classes,
+    public_methods,
+    resolve_call_name,
+    self_attr_target,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import ModuleSource
+
+
+def _assign_targets(node: ast.stmt) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, ast.AnnAssign) and node.value is not None:
+        return [node.target]
+    return []
+
+
+def _assign_value(node: ast.stmt) -> ast.expr | None:
+    if isinstance(node, ast.Assign | ast.AnnAssign):
+        return node.value
+    return None
+
+
+class UnserializableStateRule(Rule):
+    """OBI101: compiled classes must hold only wire-safe state.
+
+    ``__slots__`` removes the instance ``__dict__`` replication relies
+    on; locks, sockets, threads, file handles and queues are OS/process
+    state that cannot be rebuilt on the receiving site.
+    """
+
+    id = "OBI101"
+    name = "unserializable-state"
+    severity = Severity.ERROR
+    description = (
+        "compiled class declares __slots__ or assigns a field of a known-"
+        "unserializable type (lock, socket, thread, file handle, queue)"
+    )
+    rationale = (
+        "replica state must live in the instance __dict__ and survive "
+        "encode/decode; OS handles and scheduler state cannot"
+    )
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        for classdef in iter_classes(module.tree):
+            if not is_compiled_classdef(classdef):
+                continue
+            for stmt in classdef.body:
+                for target in _assign_targets(stmt):
+                    if isinstance(target, ast.Name) and target.id == "__slots__":
+                        yield self.finding(
+                            module,
+                            stmt,
+                            f"compiled class {classdef.name!r} declares __slots__; "
+                            "OBIWAN-managed state must live in the instance __dict__",
+                        )
+            for method in ast.walk(classdef):
+                if not isinstance(method, ast.Assign | ast.AnnAssign):
+                    continue
+                value = _assign_value(method)
+                if not isinstance(value, ast.Call):
+                    continue
+                call_name = resolve_call_name(value.func, module.imports)
+                reason = UNSERIALIZABLE_FACTORIES.get(call_name or "")
+                if reason is None:
+                    continue
+                for target in _assign_targets(method):
+                    attr = self_attr_target(target)
+                    if attr is not None:
+                        yield self.finding(
+                            module,
+                            method,
+                            f"compiled class {classdef.name!r} stores "
+                            f"{call_name}() in self.{attr}: {reason}, so the "
+                            "field cannot cross a site boundary",
+                        )
+
+
+class InterfaceShadowingRule(Rule):
+    """OBI102: compiled classes must not shadow proxy-in control names.
+
+    The proxy-in forwards unknown attributes to the master, but its own
+    ``get``/``put``/``demand``/``get_version`` take precedence — a user
+    method with one of those names becomes unreachable via RMI, and a
+    proxy-out fault on it would resolve the *platform* verb instead of
+    the business method.
+    """
+
+    id = "OBI102"
+    name = "interface-shadowing"
+    severity = Severity.ERROR
+    description = (
+        "public method on a compiled class collides with a reserved "
+        "ReplicationInterfaces name (get/put/demand/get_version/updateMember)"
+    )
+    rationale = "shadowed control verbs break fault resolution and RMI dispatch"
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        for classdef in iter_classes(module.tree):
+            if not is_compiled_classdef(classdef):
+                continue
+            for method in public_methods(classdef):
+                if method.name in RESERVED_CONTROL_METHODS:
+                    yield self.finding(
+                        module,
+                        method,
+                        f"method {classdef.name}.{method.name}() shadows the "
+                        f"reserved proxy-in control name {method.name!r}; rename "
+                        "it (e.g. fetch_/store_) so fault resolution stays sound",
+                    )
+
+
+class MutableClassDefaultRule(Rule):
+    """OBI106: no mutable class-level defaults on compiled classes.
+
+    A class-level list/dict/set is one object shared by the master and
+    every replica decoded on this site — writes through one replica leak
+    into all of them without any ``put``/``get`` having happened.
+    """
+
+    id = "OBI106"
+    name = "mutable-class-default"
+    severity = Severity.ERROR
+    description = "compiled class has a mutable class-level default attribute"
+    rationale = (
+        "class attributes are not per-instance state: replicas on one site "
+        "would silently share them"
+    )
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        for classdef in iter_classes(module.tree):
+            if not is_compiled_classdef(classdef):
+                continue
+            for stmt in classdef.body:
+                value = _assign_value(stmt)
+                if value is None or not is_mutable_value(value, module.imports):
+                    continue
+                for target in _assign_targets(stmt):
+                    if (
+                        isinstance(target, ast.Name)
+                        and not target.id.startswith("__")
+                    ):
+                        yield self.finding(
+                            module,
+                            stmt,
+                            f"compiled class {classdef.name!r} defines mutable "
+                            f"class-level default {target.id!r}; initialise it "
+                            "per instance in __init__ instead",
+                        )

@@ -1,0 +1,86 @@
+"""Replica-leak rule (OBI103).
+
+A compiled class method that returns an internal mutable container *by
+reference* behaves differently in LMI and RMI mode: locally the caller
+aliases live replica state (mutations bypass ``put_back`` change
+tracking); remotely the container is serialized, so the caller gets a
+copy and mutations are silently lost.  Either way the contract the
+proxy-in exposes is broken.  Return a copy (``list(self.x)``) or an
+OBIWAN object.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis.findings import Finding, Rule, Severity
+from repro.analysis.visitor import (
+    is_compiled_classdef,
+    is_mutable_value,
+    iter_classes,
+    iter_methods,
+    public_methods,
+    self_attr_target,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import ModuleSource
+
+
+def _mutable_init_attrs(classdef: ast.ClassDef, imports: dict[str, str]) -> set[str]:
+    """Attributes ``__init__`` binds to a fresh mutable container."""
+    attrs: set[str] = set()
+    for method in iter_methods(classdef):
+        if method.name != "__init__":
+            continue
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Assign | ast.AnnAssign):
+                continue
+            value = node.value
+            if value is None or not is_mutable_value(value, imports):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                attr = self_attr_target(target)
+                if attr is not None:
+                    attrs.add(attr)
+    return attrs
+
+
+class ReplicaLeakRule(Rule):
+    """OBI103: exposed methods must not return raw internal containers."""
+
+    id = "OBI103"
+    name = "replica-leak"
+    severity = Severity.WARNING
+    description = (
+        "public method of a compiled class returns an internal mutable "
+        "container by reference"
+    )
+    rationale = (
+        "LMI callers alias live replica state; RMI callers get a throwaway "
+        "copy — return an explicit copy or an OBIWAN object instead"
+    )
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        for classdef in iter_classes(module.tree):
+            if not is_compiled_classdef(classdef):
+                continue
+            leaky = _mutable_init_attrs(classdef, module.imports)
+            if not leaky:
+                continue
+            for method in public_methods(classdef):
+                for node in ast.walk(method):
+                    if not isinstance(node, ast.Return) or node.value is None:
+                        continue
+                    attr = self_attr_target(node.value)
+                    if attr in leaky:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"{classdef.name}.{method.name}() returns the internal "
+                            f"container self.{attr} by reference; return a copy "
+                            f"(e.g. list(self.{attr})) so LMI and RMI agree",
+                        )

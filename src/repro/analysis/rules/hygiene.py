@@ -1,0 +1,154 @@
+"""Hygiene rules (OBI107, OBI108).
+
+OBI107 — swallowed failures.  A bare ``except:`` (or ``except
+BaseException:`` without re-raise) hides replication faults, transport
+timeouts and even ``KeyboardInterrupt``; a ``pass``-only handler for an
+OBIWAN error class drops a replication failure on the floor, leaving the
+consumer's object graph silently inconsistent.
+
+OBI108 — ambient time and entropy.  Everything outside
+``repro/util/clock.py`` must take a ``Clock``; calling ``time.time()``
+(or drawing from the global ``random``) makes simnet replays
+non-deterministic, which the benchmark harness and the trace tests rely
+on.  Seeded ``random.Random(seed)`` instances are fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis.contract import (
+    CLOCK_MODULE_SUFFIX,
+    GLOBAL_RANDOM_MODULE,
+    NONDETERMINISTIC_CALLS,
+    REPLICATION_ERROR_NAMES,
+)
+from repro.analysis.findings import Finding, Rule, Severity
+from repro.analysis.visitor import dotted_name, resolve_call_name
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import ModuleSource
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+def _handler_is_empty(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or ...
+        return False
+    return True
+
+
+def _exception_names(handler: ast.ExceptHandler) -> set[str]:
+    if handler.type is None:
+        return set()
+    exprs = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    names = set()
+    for expr in exprs:
+        name = dotted_name(expr)
+        if name is not None:
+            names.add(name.rsplit(".", 1)[-1])
+    return names
+
+
+class SwallowedExceptionRule(Rule):
+    """OBI107: no bare excepts, no silently dropped replication errors."""
+
+    id = "OBI107"
+    name = "swallowed-exception"
+    severity = Severity.ERROR
+    description = (
+        "bare except:, except BaseException without re-raise, or a pass-only "
+        "handler for an OBIWAN error class"
+    )
+    rationale = (
+        "a dropped replication failure leaves the consumer's object graph "
+        "silently inconsistent; bare excepts also eat KeyboardInterrupt"
+    )
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare except: hides replication faults and KeyboardInterrupt; "
+                    "catch a specific exception class",
+                )
+                continue
+            names = _exception_names(node)
+            if "BaseException" in names and not _handler_reraises(node):
+                yield self.finding(
+                    module,
+                    node,
+                    "except BaseException without re-raise; catch Exception or "
+                    "re-raise after cleanup",
+                )
+            swallowed = names & REPLICATION_ERROR_NAMES
+            if swallowed and _handler_is_empty(node):
+                pretty = ", ".join(sorted(swallowed))
+                yield self.finding(
+                    module,
+                    node,
+                    f"{pretty} caught and silently discarded; handle it or "
+                    "let it propagate — a dropped replication failure corrupts "
+                    "the consumer's view",
+                )
+
+
+class NondeterministicClockRule(Rule):
+    """OBI108: ambient time/entropy only inside ``util/clock.py``."""
+
+    id = "OBI108"
+    name = "nondeterministic-clock"
+    severity = Severity.WARNING
+    description = (
+        "direct time.time()/perf_counter()/global-random use outside "
+        "repro/util/clock.py"
+    )
+    rationale = (
+        "components take a Clock so simnet replays are deterministic; "
+        "ambient time or unseeded randomness breaks trace reproducibility"
+    )
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        if module.display_path.replace("\\", "/").endswith(CLOCK_MODULE_SUFFIX):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call_name(node.func, module.imports)
+            if name is None:
+                continue
+            hint = NONDETERMINISTIC_CALLS.get(name)
+            if hint is not None:
+                yield self.finding(
+                    module, node, f"direct call to {name}(); {hint}"
+                )
+                continue
+            head, _, tail = name.partition(".")
+            if head == GLOBAL_RANDOM_MODULE and tail:
+                if tail == "Random":
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            module,
+                            node,
+                            "random.Random() without a seed is nondeterministic; "
+                            "pass an explicit seed",
+                        )
+                elif tail[0].islower():
+                    yield self.finding(
+                        module,
+                        node,
+                        f"random.{tail}() draws from the global unseeded "
+                        "generator; use a seeded random.Random(seed) instance",
+                    )

@@ -1,0 +1,66 @@
+"""Consistency-protocol subclassing rule (OBI105).
+
+The shipped protocols (:mod:`repro.consistency`) keep bookkeeping inside
+their ``read``/``write_back`` (and any ``get``/``put``) verbs: lease
+expiry checks, vector increments, invalidation bits.  A subclass of a
+*concrete* protocol that overrides a verb without delegating to
+``super()`` silently drops that bookkeeping — the protocol still "works"
+but no longer provides its guarantee.  Direct subclasses of the abstract
+``ConsistencyProtocol`` base are exempt: its verbs are abstract.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis.contract import PROTOCOL_VERBS, concrete_protocol_names
+from repro.analysis.findings import Finding, Rule, Severity
+from repro.analysis.visitor import calls_super_method, dotted_name, iter_classes, iter_methods
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import ModuleSource
+
+
+class ProtocolSuperCallRule(Rule):
+    """OBI105: protocol-verb overrides must call ``super()``."""
+
+    id = "OBI105"
+    name = "protocol-super-call"
+    severity = Severity.WARNING
+    description = (
+        "subclass of a concrete consistency protocol overrides "
+        "get/put/read/write_back without delegating to super()"
+    )
+    rationale = (
+        "the parent verb carries the protocol's bookkeeping (leases, "
+        "vectors, invalidation bits); dropping it voids the guarantee"
+    )
+
+    def __init__(self) -> None:
+        self._protocols = concrete_protocol_names()
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        for classdef in iter_classes(module.tree):
+            bases = {
+                name.rsplit(".", 1)[-1]
+                for base in classdef.bases
+                if (name := dotted_name(base)) is not None
+            }
+            parents = bases & self._protocols
+            if not parents:
+                continue
+            parent = sorted(parents)[0]
+            for method in iter_methods(classdef):
+                if method.name not in PROTOCOL_VERBS:
+                    continue
+                if not calls_super_method(method, method.name):
+                    yield self.finding(
+                        module,
+                        method,
+                        f"{classdef.name}.{method.name}() overrides the "
+                        f"{parent} protocol verb without calling "
+                        f"super().{method.name}(); the parent's consistency "
+                        "bookkeeping is silently dropped",
+                    )

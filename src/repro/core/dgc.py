@@ -196,5 +196,5 @@ class DgcClient:
         )
         try:
             self.site.endpoint.invoke(ref, "clean", ([oid], self.site.name))
-        except TransportError:
-            pass  # the lease will lapse on its own
+        except TransportError:  # obilint: disable=OBI107 -- clean is best-effort, like Java DGC's; an unreachable provider's lease lapses on its own
+            pass

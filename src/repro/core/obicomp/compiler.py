@@ -37,6 +37,8 @@ def compile_class(cls: type | None = None, *, interface_name: str | None = None)
     """
 
     def apply(target: type) -> type:
+        if not isinstance(target, type):
+            raise ReplicationError(f"obicomp can only compile classes, got {target!r}")
         if is_compiled_class(target):
             return target
         if any("__slots__" in vars(klass) for klass in target.__mro__ if klass is not object):

@@ -1,0 +1,82 @@
+"""The contract must stay consistent with the live runtime.
+
+These tests are the drift alarms: if someone renames a proxy-in control
+method, adds a wire tag, or reshuffles the error hierarchy, the analyzer
+contract fails here instead of silently rotting.
+"""
+
+from repro.analysis import contract
+from repro.core.proxy_in import PROXY_IN_CONTROL_METHODS
+from repro.serial import tags
+from repro.serial.registry import global_registry
+from repro.util.errors import ObiwanError, ReplicationError, TransportError
+
+
+class TestReservedNames:
+    def test_derived_from_proxy_in(self):
+        # Every control method the proxy-in actually exposes is reserved.
+        assert set(PROXY_IN_CONTROL_METHODS) <= contract.RESERVED_CONTROL_METHODS
+
+    def test_paper_verbs_reserved(self):
+        assert "updateMember" in contract.RESERVED_CONTROL_METHODS
+        assert "get" in contract.RESERVED_CONTROL_METHODS
+        assert "put" in contract.RESERVED_CONTROL_METHODS
+        assert "demand" in contract.RESERVED_CONTROL_METHODS
+
+
+class TestWireCrossCheck:
+    def test_builtins_match_tag_table(self):
+        # One encodable builtin per value tag (tags also cover the
+        # structural OBJECT/REF/SWIZZLED envelopes and bool's two tags).
+        tag_names = {
+            name for name in vars(tags) if not name.startswith("_")
+        }
+        assert {"NONE", "INT", "FLOAT", "STR", "BYTES", "LIST", "TUPLE",
+                "DICT", "SET", "FROZENSET"} <= tag_names
+        assert {list, dict, set, frozenset, bytes} <= contract.WIRE_ENCODABLE_BUILTINS
+
+    def test_unserializable_factories_are_not_registered(self):
+        # No "unserializable" type may quietly gain a registry entry:
+        # if one does, the rule must be updated, not bypassed.
+        import queue
+        import threading
+
+        for cls in (
+            type(threading.Lock()),
+            type(threading.RLock()),
+            threading.Thread,
+            threading.Event,
+            queue.Queue,
+        ):
+            assert not global_registry.is_registered(cls), cls
+
+    def test_factories_cover_threading_and_sockets(self):
+        assert "threading.Lock" in contract.UNSERIALIZABLE_FACTORIES
+        assert "socket.socket" in contract.UNSERIALIZABLE_FACTORIES
+        assert "open" in contract.UNSERIALIZABLE_FACTORIES
+
+
+class TestErrorHierarchy:
+    def test_replication_errors_discovered(self):
+        assert "ReplicationError" in contract.REPLICATION_ERROR_NAMES
+        assert "TransportError" in contract.REPLICATION_ERROR_NAMES
+        assert issubclass(ReplicationError, ObiwanError)
+        assert issubclass(TransportError, ObiwanError)
+
+    def test_foreign_errors_not_included(self):
+        assert "ValueError" not in contract.REPLICATION_ERROR_NAMES
+        assert "KeyError" not in contract.REPLICATION_ERROR_NAMES
+
+
+class TestProtocolDiscovery:
+    def test_all_shipped_protocols_found(self):
+        names = contract.concrete_protocol_names()
+        assert {
+            "LeaseConsistency",
+            "ManualConsistency",
+            "InvalidationConsumer",
+            "UpdateSubscriber",
+            "LwwReplica",
+            "VectorReplica",
+        } <= names
+        assert "ConsistencyProtocol" not in names

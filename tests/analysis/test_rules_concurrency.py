@@ -1,0 +1,128 @@
+"""Positive/negative cases for the lock-discipline rule (OBI104)."""
+
+
+class TestSendUnderLock:
+    def test_send_while_holding_lock_flagged(self, lint):
+        findings = lint(
+            """
+            import threading
+
+            lock = threading.Lock()
+
+            def push(sock, data):
+                with lock:
+                    sock.sendall(data)
+            """,
+            rule="OBI104",
+        )
+        assert len(findings) == 1
+        assert "sendall" in findings[0].message
+
+    def test_rmi_call_under_self_lock_flagged(self, lint):
+        findings = lint(
+            """
+            import threading
+
+            class Endpoint:
+                def __init__(self):
+                    self._table_lock = threading.Lock()
+
+                def update(self, peer, payload):
+                    with self._table_lock:
+                        peer.call("site-b", payload)
+            """,
+            rule="OBI104",
+        )
+        assert len(findings) == 1
+
+    def test_send_after_lock_released_passes(self, lint):
+        findings = lint(
+            """
+            import threading
+
+            lock = threading.Lock()
+
+            def push(sock, data):
+                with lock:
+                    staged = bytes(data)
+                sock.sendall(staged)
+            """,
+            rule="OBI104",
+        )
+        assert findings == []
+
+    def test_nested_function_not_considered_held(self, lint):
+        findings = lint(
+            """
+            import threading
+
+            lock = threading.Lock()
+
+            def make_sender(sock):
+                with lock:
+                    def later(data):
+                        sock.sendall(data)
+                    return later
+            """,
+            rule="OBI104",
+        )
+        assert findings == []
+
+
+class TestLockOrdering:
+    def test_abba_order_flagged_as_error(self, lint):
+        findings = lint(
+            """
+            import threading
+
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+
+            def one():
+                with lock_a:
+                    with lock_b:
+                        pass
+
+            def two():
+                with lock_b:
+                    with lock_a:
+                        pass
+            """,
+            rule="OBI104",
+        )
+        assert len(findings) == 1
+        assert str(findings[0].severity) == "error"
+        assert "both orders" in findings[0].message
+
+    def test_consistent_order_passes(self, lint):
+        findings = lint(
+            """
+            import threading
+
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+
+            def one():
+                with lock_a:
+                    with lock_b:
+                        pass
+
+            def two():
+                with lock_a:
+                    with lock_b:
+                        pass
+            """,
+            rule="OBI104",
+        )
+        assert findings == []
+
+    def test_non_lock_contexts_ignored(self, lint):
+        findings = lint(
+            """
+            def copy(src_path, dst, data):
+                with open(src_path) as fh:
+                    dst.sendall(fh.read())
+            """,
+            rule="OBI104",
+        )
+        assert findings == []

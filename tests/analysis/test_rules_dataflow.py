@@ -1,0 +1,93 @@
+"""Positive/negative cases for the replica-leak rule (OBI103)."""
+
+
+class TestReplicaLeak:
+    def test_raw_container_return_flagged(self, lint):
+        findings = lint(
+            """
+            from repro import obiwan
+
+            @obiwan.compile
+            class Agenda:
+                def __init__(self):
+                    self.entries = []
+
+                def all(self):
+                    return self.entries
+            """,
+            rule="OBI103",
+        )
+        assert len(findings) == 1
+        assert "self.entries" in findings[0].message
+
+    def test_dict_attr_flagged(self, lint):
+        findings = lint(
+            """
+            from repro import obiwan
+
+            @obiwan.compile
+            class Index:
+                def __init__(self):
+                    self.by_key = {}
+
+                def mapping(self):
+                    return self.by_key
+            """,
+            rule="OBI103",
+        )
+        assert len(findings) == 1
+
+    def test_copied_return_passes(self, lint):
+        findings = lint(
+            """
+            from repro import obiwan
+
+            @obiwan.compile
+            class Agenda:
+                def __init__(self):
+                    self.entries = []
+
+                def all(self):
+                    return list(self.entries)
+            """,
+            rule="OBI103",
+        )
+        assert findings == []
+
+    def test_scalar_attr_return_passes(self, lint):
+        findings = lint(
+            """
+            from repro import obiwan
+
+            @obiwan.compile
+            class Doc:
+                def __init__(self, title=""):
+                    self.title = title
+                    self.tags = []
+
+                def get_title(self):
+                    return self.title
+            """,
+            rule="OBI103",
+        )
+        assert findings == []
+
+    def test_private_method_not_flagged(self, lint):
+        findings = lint(
+            """
+            from repro import obiwan
+
+            @obiwan.compile
+            class Agenda:
+                def __init__(self):
+                    self.entries = []
+
+                def _raw(self):
+                    return self.entries
+
+                def act(self):
+                    pass
+            """,
+            rule="OBI103",
+        )
+        assert findings == []

@@ -1,0 +1,175 @@
+"""Positive/negative cases for the hygiene rules (OBI107/OBI108)."""
+
+
+class TestSwallowedException:
+    def test_bare_except_flagged(self, lint):
+        findings = lint(
+            """
+            def risky():
+                try:
+                    return 1
+                except:
+                    return None
+            """,
+            rule="OBI107",
+        )
+        assert len(findings) == 1
+        assert "bare except" in findings[0].message
+
+    def test_base_exception_without_reraise_flagged(self, lint):
+        findings = lint(
+            """
+            def risky():
+                try:
+                    return 1
+                except BaseException:
+                    return None
+            """,
+            rule="OBI107",
+        )
+        assert len(findings) == 1
+
+    def test_base_exception_with_reraise_passes(self, lint):
+        findings = lint(
+            """
+            def risky(cleanup):
+                try:
+                    return 1
+                except BaseException:
+                    cleanup()
+                    raise
+            """,
+            rule="OBI107",
+        )
+        assert findings == []
+
+    def test_swallowed_replication_error_flagged(self, lint):
+        findings = lint(
+            """
+            from repro.util.errors import ReplicationError
+
+            def risky(site):
+                try:
+                    site.put_back(None)
+                except ReplicationError:
+                    pass
+            """,
+            rule="OBI107",
+        )
+        assert len(findings) == 1
+        assert "ReplicationError" in findings[0].message
+
+    def test_handled_replication_error_passes(self, lint):
+        findings = lint(
+            """
+            from repro.util.errors import ReplicationError
+
+            def risky(site, log):
+                try:
+                    site.put_back(None)
+                except ReplicationError as exc:
+                    log.warning("put failed: %s", exc)
+            """,
+            rule="OBI107",
+        )
+        assert findings == []
+
+    def test_specific_foreign_exception_passes(self, lint):
+        findings = lint(
+            """
+            def risky(path):
+                try:
+                    return open(path).read()
+                except FileNotFoundError:
+                    return ""
+            """,
+            rule="OBI107",
+        )
+        assert findings == []
+
+
+class TestNondeterministicClock:
+    def test_time_time_flagged(self, lint):
+        findings = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            rule="OBI108",
+        )
+        assert len(findings) == 1
+        assert "time.time" in findings[0].message
+
+    def test_perf_counter_via_from_import_flagged(self, lint):
+        findings = lint(
+            """
+            from time import perf_counter
+
+            def stamp():
+                return perf_counter()
+            """,
+            rule="OBI108",
+        )
+        assert len(findings) == 1
+
+    def test_global_random_flagged(self, lint):
+        findings = lint(
+            """
+            import random
+
+            def jitter():
+                return random.random() + random.uniform(0, 1)
+            """,
+            rule="OBI108",
+        )
+        assert len(findings) == 2
+
+    def test_unseeded_random_instance_flagged(self, lint):
+        findings = lint(
+            """
+            import random
+
+            def make_rng():
+                return random.Random()
+            """,
+            rule="OBI108",
+        )
+        assert len(findings) == 1
+        assert "seed" in findings[0].message
+
+    def test_seeded_random_instance_passes(self, lint):
+        findings = lint(
+            """
+            import random
+
+            def make_rng(seed):
+                return random.Random(seed)
+            """,
+            rule="OBI108",
+        )
+        assert findings == []
+
+    def test_clock_abstraction_passes(self, lint):
+        findings = lint(
+            """
+            def stamp(clock):
+                return clock.now()
+            """,
+            rule="OBI108",
+        )
+        assert findings == []
+
+    def test_clock_module_itself_exempt(self, tmp_path):
+        from repro.analysis import analyze_paths
+
+        clock_dir = tmp_path / "util"
+        clock_dir.mkdir()
+        path = clock_dir / "clock.py"
+        path.write_text(
+            "import time\n\ndef now():\n    return time.perf_counter()\n",
+            encoding="utf-8",
+        )
+        report = analyze_paths([path], select={"OBI108"})
+        assert report.all_findings() == []

@@ -1,0 +1,76 @@
+"""Positive/negative cases for the protocol-super-call rule (OBI105)."""
+
+
+class TestProtocolSuperCall:
+    def test_override_without_super_flagged(self, lint):
+        findings = lint(
+            """
+            from repro.consistency.lease import LeaseConsistency
+
+            class NoisyLease(LeaseConsistency):
+                def read(self, replica):
+                    return replica
+            """,
+            rule="OBI105",
+        )
+        assert len(findings) == 1
+        assert "super().read()" in findings[0].message
+
+    def test_write_back_without_super_flagged(self, lint):
+        findings = lint(
+            """
+            from repro.consistency import VectorReplica
+
+            class Audited(VectorReplica):
+                def write_back(self, replica):
+                    print("writing")
+                    return replica
+            """,
+            rule="OBI105",
+        )
+        assert len(findings) == 1
+
+    def test_override_with_super_passes(self, lint):
+        findings = lint(
+            """
+            from repro.consistency.lease import LeaseConsistency
+
+            class NoisyLease(LeaseConsistency):
+                def read(self, replica):
+                    print("reading")
+                    return super().read(replica)
+            """,
+            rule="OBI105",
+        )
+        assert findings == []
+
+    def test_abstract_base_subclass_exempt(self, lint):
+        # ConsistencyProtocol's verbs are abstract: implementing them
+        # without super() is the whole point of subclassing it.
+        findings = lint(
+            """
+            from repro.consistency.base import ConsistencyProtocol
+
+            class Fresh(ConsistencyProtocol):
+                def read(self, replica):
+                    return replica
+
+                def write_back(self, replica):
+                    return replica
+            """,
+            rule="OBI105",
+        )
+        assert findings == []
+
+    def test_non_verb_methods_exempt(self, lint):
+        findings = lint(
+            """
+            from repro.consistency.lease import LeaseConsistency
+
+            class Extended(LeaseConsistency):
+                def remaining_lease(self, replica):
+                    return 0.0
+            """,
+            rule="OBI105",
+        )
+        assert findings == []

@@ -1,11 +1,15 @@
 """Tests for the benchmark CLI (python -m repro.bench)."""
 
+import os
+import pathlib
 import subprocess
 import sys
 
 import pytest
 
 from repro.bench.__main__ import COMMANDS, main
+
+SRC_DIR = pathlib.Path(__file__).resolve().parents[2] / "src"
 
 
 def test_all_commands_registered():
@@ -49,11 +53,16 @@ def test_future_cpu_in_process(tmp_path, monkeypatch, capsys):
 
 
 def test_cli_subprocess_smoke(tmp_path):
+    # The subprocess does not inherit pytest's sys.path entries; put the
+    # source tree on PYTHONPATH explicitly so `repro` resolves.
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
     result = subprocess.run(
         [sys.executable, "-m", "repro.bench", "anchors"],
         capture_output=True,
         text=True,
         cwd=tmp_path,
+        env=env,
         timeout=120,
     )
     assert result.returncode == 0, result.stderr

@@ -141,6 +141,78 @@ class TestCompile:
         with pytest.raises(ReplicationError, match="__slots__"):
             compile_class(Slotted)
 
+    def test_inherited_slots_rejected(self):
+        # __slots__ anywhere along the MRO removes the instance __dict__
+        # replication relies on — a subclass cannot undo the restriction.
+        class SlottedBase:
+            __slots__ = ("x",)
+
+        class Derived(SlottedBase):
+            def m(self):
+                pass
+
+        with pytest.raises(ReplicationError, match="__slots__"):
+            compile_class(Derived)
+
+    def test_slots_rejection_leaves_class_uncompiled(self):
+        class Slotted:
+            __slots__ = ("x",)
+
+            def m(self):
+                pass
+
+        with pytest.raises(ReplicationError):
+            compile_class(Slotted)
+        assert not is_compiled_class(Slotted)
+        assert "ISlotted" not in compiled_registry
+
+    def test_recompilation_preserves_interface_identity(self):
+        @compile_class
+        class Stable:
+            def m(self):
+                pass
+
+        before = interface_of(Stable)
+        entry_before = compiled_registry.by_interface("IStable")
+        compile_class(Stable)
+        assert interface_of(Stable) is before
+        assert compiled_registry.by_interface("IStable") is entry_before
+
+    def test_interface_name_override_registers_under_custom_name(self):
+        @compile_class(interface_name="ICustomWire")
+        class CustomNamed:
+            def m(self):
+                pass
+
+        entry = compiled_registry.by_interface("ICustomWire")
+        assert entry.cls is CustomNamed
+        assert "ICustomNamed" not in compiled_registry
+
+    def test_interface_name_collision_rejected(self):
+        @compile_class(interface_name="ITakenName")
+        class First:
+            def m(self):
+                pass
+
+        class Second:
+            def m(self):
+                pass
+
+        with pytest.raises(ReplicationError, match="ITakenName"):
+            compile_class(Second, interface_name="ITakenName")
+
+    def test_non_class_rejected(self):
+        with pytest.raises(ReplicationError, match="classes"):
+            compile_class(lambda: None)  # type: ignore[arg-type]
+
+    def test_empty_class_rejected_and_unregistered(self):
+        class NoMethods:
+            pass
+
+        with pytest.raises(ReplicationError, match="no public methods"):
+            compile_class(NoMethods)
+        assert not is_compiled_class(NoMethods)
+
 
 class TestPorting:
     def test_port_legacy_class(self):

@@ -4,14 +4,23 @@ Examples are documentation that executes; a broken example is a broken
 promise to the first user.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _env_with_src():
+    """Subprocesses don't inherit pytest's sys.path; add src explicitly."""
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return env
 
 
 def test_examples_directory_is_populated():
@@ -26,6 +35,7 @@ def test_example_runs_clean(example):
         [sys.executable, str(example)],
         capture_output=True,
         text=True,
+        env=_env_with_src(),
         timeout=120,
     )
     assert result.returncode == 0, (
@@ -40,6 +50,7 @@ def test_quickstart_output_tells_the_figure1_story():
         [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
         capture_output=True,
         text=True,
+        env=_env_with_src(),
         timeout=60,
     )
     out = result.stdout

@@ -43,7 +43,14 @@ _tolerant_ref = _table.export(Tolerant())
 _strict_ref = _table.export(Strict())
 
 
-@given(st.lists(values, max_size=5), st.dictionaries(st.text(max_size=8), values, max_size=3))
+# A kwarg literally named "self" can never reach `anything(self, ...)`:
+# it collides with the bound receiver slot in Python's calling
+# convention and dispatch (correctly) flattens the TypeError into an
+# InvokeFailure.  Every other name must succeed.
+_kwarg_names = st.text(max_size=8).filter(lambda name: name != "self")
+
+
+@given(st.lists(values, max_size=5), st.dictionaries(_kwarg_names, values, max_size=3))
 @settings(max_examples=200, deadline=None)
 def test_tolerant_target_always_succeeds(args, kwargs):
     result = _table.dispatch(
