@@ -1,0 +1,59 @@
+"""PR-2 bench smoke: batched demand & prefetching fault resolver.
+
+Asserts the headline acceptance claim — ``prefetch=16`` on the paper's
+1000-object list cuts fault round trips by at least 10x without changing
+what the traversal computes — and records ``BENCH_pr2.json`` at the repo
+root when ``OBIWAN_BENCH_RECORD`` is set (the CI bench-smoke job does).
+"""
+
+import json
+import math
+import os
+from pathlib import Path
+
+from repro.bench.fault_batching import (
+    DEFAULT_LENGTH,
+    DEFAULT_PREFETCH,
+    fault_batching_report,
+)
+
+
+def test_fault_batching_smoke(once):
+    report = once(fault_batching_report)
+    baseline = report["baseline"]
+    batched = report["prefetch"]
+
+    # Demand-driven chunk-1: one round trip per remaining list element.
+    assert baseline["fault_round_trips"] == DEFAULT_LENGTH - 1
+    assert baseline["demands_batched"] == 0
+    assert baseline["prefetch_hits"] == 0
+
+    # Prefetch k: the frontier advances k objects per round trip.
+    expected = math.ceil((DEFAULT_LENGTH - 1) / DEFAULT_PREFETCH)
+    assert batched["fault_round_trips"] == expected
+    assert batched["demands_batched"] == expected
+    assert batched["prefetch_hits"] == (DEFAULT_LENGTH - 1) - expected
+
+    # The acceptance bar: >= 10x fewer round trips, and faster overall.
+    assert report["round_trip_reduction"] >= 10.0
+    assert batched["wall_clock_ms"] < baseline["wall_clock_ms"]
+
+    print("\nPR-2 fault batching:")
+    print(
+        f"  round trips {baseline['fault_round_trips']} -> "
+        f"{batched['fault_round_trips']} "
+        f"({report['round_trip_reduction']:.1f}x)"
+    )
+    print(
+        f"  wall clock  {baseline['wall_clock_ms']:.1f} ms -> "
+        f"{batched['wall_clock_ms']:.1f} ms "
+        f"({report['wall_clock_speedup']:.2f}x)"
+    )
+    print(
+        f"  bytes sent  {baseline['bytes_sent']} -> {batched['bytes_sent']}"
+    )
+
+    if os.environ.get("OBIWAN_BENCH_RECORD"):
+        target = Path(__file__).resolve().parent.parent / "BENCH_pr2.json"
+        target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"  recorded {target}")

@@ -39,7 +39,9 @@ _INTERNAL_ATTRS = frozenset(
         "_obi_interface",
         "_obi_mode",
         "_obi_demanders",
+        "_obi_demander_ids",
         "_obi_resolved",
+        "_obi_method_cache",
     }
 )
 
@@ -64,34 +66,45 @@ class ProxyOutBase:
         object.__setattr__(self, "_obi_interface", interface)
         object.__setattr__(self, "_obi_mode", mode)
         #: Objects currently holding a reference to this proxy-out; the
-        #: fault resolver splices the replica into each of them.
+        #: fault resolver splices the replica into each of them.  The id
+        #: set mirrors the list so registration stays O(1) on wide fan-in
+        #: graphs (ids are valid while the list holds the strong ref).
         object.__setattr__(self, "_obi_demanders", [])
+        object.__setattr__(self, "_obi_demander_ids", set())
         #: The target replica once resolved (``setProvider``/``demand``
         #: bookkeeping collapses to this single field).
         object.__setattr__(self, "_obi_resolved", None)
+        #: Bound-method cache for post-resolution forwarding: aliased
+        #: references that outlive the splice skip the getattr per call.
+        object.__setattr__(self, "_obi_method_cache", {})
 
     # ------------------------------------------------------------------
     # demander bookkeeping (the paper's setDemander)
     # ------------------------------------------------------------------
     def _obi_add_demander(self, holder: object) -> None:
-        demanders = self._obi_demanders
-        if not any(existing is holder for existing in demanders):
-            demanders.append(holder)
+        ids = self._obi_demander_ids
+        if id(holder) not in ids:
+            ids.add(id(holder))
+            self._obi_demanders.append(holder)
 
     # ------------------------------------------------------------------
     # the object fault
     # ------------------------------------------------------------------
     def _obi_fault(self, method: str, args: tuple, kwargs: dict) -> object:
         """Resolve the fault (if still unresolved) and forward the call."""
-        target = self._obi_resolved
-        if target is None:
-            site = self._obi_site
-            if site is None:
-                raise ObjectFaultError(
-                    f"proxy-out for {self._obi_target_id!r} is not attached to a site"
-                )
-            target = site.resolve_fault(self)
-        return getattr(target, method)(*args, **kwargs)
+        bound = self._obi_method_cache.get(method)
+        if bound is None:
+            target = self._obi_resolved
+            if target is None:
+                site = self._obi_site
+                if site is None:
+                    raise ObjectFaultError(
+                        f"proxy-out for {self._obi_target_id!r} is not attached to a site"
+                    )
+                target = site.resolve_fault(self)
+            bound = getattr(target, method)
+            self._obi_method_cache[method] = bound
+        return bound(*args, **kwargs)
 
     # ------------------------------------------------------------------
     # encapsulation enforcement

@@ -262,17 +262,21 @@ def build_put(site: "Site", replicas: list[object]) -> PutPackage:
     """
     entries: list[PutEntry] = []
     total_bytes = 0
+    # One swizzler/encoder pair serves every entry: each encode() call is
+    # an independent frame, and the swizzler accumulates pairs_created
+    # across entries so the cost model is charged once for the batch.
+    swizzler = PackagingSwizzler(site, member_ids=set())
+    encoder = Encoder(site.registry, swizzler)
     for replica in replicas:
         oid = obi_id_of(replica)
         info = site.replica_info(oid)
         state = dict(vars(replica))
-        swizzler = PackagingSwizzler(site, member_ids=set())
-        payload = Encoder(site.registry, swizzler).encode(state)
-        site.charge_pairs(swizzler.pairs_created)
+        payload = encoder.encode(state)
         total_bytes += len(payload)
         entries.append(
             PutEntry(obi_id=oid, payload=payload, version_seen=info.version if info else 0)
         )
+    site.charge_pairs(swizzler.pairs_created)
     site.charge_serialization(total_bytes)
     return PutPackage(entries=entries)
 
@@ -280,6 +284,9 @@ def build_put(site: "Site", replicas: list[object]) -> PutPackage:
 def apply_put(site: "Site", package: PutPackage) -> dict[str, int]:
     """Master-side ``put``: apply replica states; returns new versions."""
     versions: dict[str, int] = {}
+    # Every entry decodes under the same unswizzling policy, so one
+    # decoder serves the whole package (each decode() is its own frame).
+    decoder = Decoder(site.registry, SiteUnswizzler(site, ReplicationMode()))
     for entry in package.entries:
         site.charge_serialization(len(entry.payload))
         master = site.master_object_for(entry.obi_id)
@@ -288,7 +295,6 @@ def apply_put(site: "Site", package: PutPackage) -> dict[str, int]:
                 f"put targets object {entry.obi_id!r} which is not mastered at "
                 f"site {site.name!r}"
             )
-        decoder = Decoder(site.registry, SiteUnswizzler(site, ReplicationMode()))
         state = decoder.decode(entry.payload)
         if not isinstance(state, dict):
             raise ReplicationError("put payload must decode to a state dict")

@@ -62,6 +62,33 @@ class MasterRecord:
 
 
 @dataclass
+class FaultPathStats:
+    """Counters for the batched/prefetching fault fast path."""
+
+    #: Demand round trips that went through the batched fast path
+    #: (widened scope and/or piggybacked sibling demands).
+    demands_batched: int = 0
+    #: Objects replicated ahead of need: read-ahead members beyond the
+    #: mode's own chunk, plus sibling proxies resolved without a round
+    #: trip of their own.
+    prefetch_hits: int = 0
+    #: Faults that waited on another thread's in-flight demand instead of
+    #: issuing a duplicate round trip.
+    coalesced_faults: int = 0
+
+
+class _InflightDemand:
+    """Rendezvous for faults coalescing on one in-flight demand."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: object | None = None
+        self.error: BaseException | None = None
+
+
+@dataclass
 class ReplicaRecord:
     """Bookkeeping for one replica held at this site."""
 
@@ -84,6 +111,7 @@ class Site:
         self.endpoint = endpoint
         self.costs: CostModel = world.costs
         self.gc_stats = GcStats()
+        self.fault_stats = FaultPathStats()
         #: Local pub/sub used by the consistency and mobility layers.
         #: Topics: ``replica_registered``, ``replica_refreshed``,
         #: ``put_applied``, ``fault_resolved``.
@@ -99,6 +127,9 @@ class Site:
         self._pending_proxies: "weakref.WeakValueDictionary[str, ProxyOutBase]" = (
             weakref.WeakValueDictionary()
         )
+        #: Demands currently on the wire, keyed by target obi id; faults
+        #: racing on one target coalesce through these handles.
+        self._inflight_demands: dict[str, _InflightDemand] = {}
 
     # ------------------------------------------------------------------
     # public API: provider role
@@ -447,6 +478,69 @@ class Site:
     def finish_fault(self, proxy: ProxyOutBase, replica: object) -> None:
         self._pending_proxies.pop(proxy._obi_target_id, None)
         self.gc_stats.track_resolved(proxy)
+
+    # ------------------------------------------------------------------
+    # batched-demand fast path (used by repro.core.faults)
+    # ------------------------------------------------------------------
+    def begin_demand(self, target_id: str) -> tuple[bool, _InflightDemand]:
+        """Claim the in-flight demand slot for ``target_id``.
+
+        Returns ``(True, handle)`` when this caller leads the demand and
+        must later call :meth:`finish_demand`; ``(False, handle)`` when
+        another thread's demand is already on the wire — wait on
+        ``handle.event`` and read ``handle.result`` / ``handle.error``.
+        """
+        with self._lock:
+            existing = self._inflight_demands.get(target_id)
+            if existing is not None:
+                return False, existing
+            handle = _InflightDemand()
+            self._inflight_demands[target_id] = handle
+            return True, handle
+
+    def finish_demand(
+        self,
+        target_id: str,
+        handle: _InflightDemand,
+        *,
+        result: object | None = None,
+        error: BaseException | None = None,
+    ) -> None:
+        """Release an in-flight demand slot and wake coalesced waiters."""
+        with self._lock:
+            self._inflight_demands.pop(target_id, None)
+        handle.result = result
+        handle.error = error
+        handle.event.set()
+
+    def pending_siblings(self, proxy: ProxyOutBase, *, limit: int) -> list[ProxyOutBase]:
+        """Read-ahead candidates for a fault on ``proxy``.
+
+        Unresolved pending proxies that share at least one demander with
+        ``proxy`` (the same application object is holding both — the
+        paper's frontier of one partial replica) and whose provider lives
+        on the same site, so their demands can share the round trip.
+        Ordered by target id for determinism; capped at ``limit``.
+        """
+        if limit <= 0:
+            return []
+        demander_ids = proxy._obi_demander_ids
+        if not demander_ids:
+            return []
+        provider_site = proxy._obi_provider.site_id
+        with self._lock:
+            pending = sorted(self._pending_proxies.items())
+        siblings: list[ProxyOutBase] = []
+        for _target_id, candidate in pending:
+            if candidate is proxy or candidate._obi_resolved is not None:
+                continue
+            if candidate._obi_provider.site_id != provider_site:
+                continue
+            if demander_ids & candidate._obi_demander_ids:
+                siblings.append(candidate)
+                if len(siblings) >= limit:
+                    break
+        return siblings
 
     # ------------------------------------------------------------------
     # cost charging

@@ -35,6 +35,13 @@ class TelemetrySnapshot:
     bytes_received: int
     messages_sent: int
     messages_received: int
+    #: Fault fast-path counters (see ``repro.core.runtime.FaultPathStats``).
+    demands_batched: int
+    prefetch_hits: int
+    coalesced_faults: int
+    #: Pooled-TCP reuse attributed to this site as caller; 0 on transports
+    #: without a connection pool.
+    connections_reused: int
 
     def render(self) -> str:
         return (
@@ -46,6 +53,10 @@ class TelemetrySnapshot:
             f"  faults  : {self.faults_resolved} resolved of "
             f"{self.proxies_created} proxies created; "
             f"{self.proxies_collected} collected\n"
+            f"  fastpath: {self.demands_batched} batched demands, "
+            f"{self.prefetch_hits} prefetch hits, "
+            f"{self.coalesced_faults} coalesced faults, "
+            f"{self.connections_reused} connections reused\n"
             f"  traffic : sent {self.messages_sent} msgs / {self.bytes_sent} B, "
             f"received {self.messages_received} msgs / {self.bytes_received} B"
         )
@@ -65,6 +76,11 @@ def snapshot(site: "Site") -> TelemetrySnapshot:
             bytes_received += link.bytes
             messages_received += link.messages
 
+    pool_stats = getattr(site.world.network, "pool_stats", None)
+    connections_reused = (
+        pool_stats.reused_from(site.name) if pool_stats is not None else 0
+    )
+
     return TelemetrySnapshot(
         site=site.name,
         clock_s=site.clock.now(),
@@ -81,4 +97,8 @@ def snapshot(site: "Site") -> TelemetrySnapshot:
         bytes_received=bytes_received,
         messages_sent=messages_sent,
         messages_received=messages_received,
+        demands_batched=site.fault_stats.demands_batched,
+        prefetch_hits=site.fault_stats.prefetch_hits,
+        coalesced_faults=site.fault_stats.coalesced_faults,
+        connections_reused=connections_reused,
     )

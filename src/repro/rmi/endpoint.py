@@ -21,7 +21,13 @@ from repro.rmi.nameserver import (
     NAMESERVER_OBJECT_ID,
     NameServer,
 )
-from repro.rmi.protocol import InvokeFailure, InvokeRequest, InvokeSuccess
+from repro.rmi.protocol import (
+    InvokeBatchRequest,
+    InvokeBatchResponse,
+    InvokeFailure,
+    InvokeRequest,
+    InvokeSuccess,
+)
 from repro.rmi.refs import RemoteRef
 from repro.rmi.skeleton import ObjectTable
 from repro.rmi.stub import Stub, make_stub
@@ -88,14 +94,19 @@ class RmiEndpoint:
 
     def _handle_frame(self, message: Message) -> bytes | None:
         body = self._decoder().decode(message.payload)
-        if not isinstance(body, InvokeRequest):
-            raise ProtocolError(
-                f"site {self.site_id!r} received unexpected frame body "
-                f"{type(body).__name__}"
-            )
         self._caller.site = message.src
         try:
-            result = self.objects.dispatch(body)
+            if isinstance(body, InvokeRequest):
+                result: object = self.objects.dispatch(body)
+            elif isinstance(body, InvokeBatchRequest):
+                result = InvokeBatchResponse(
+                    results=[self.objects.dispatch(request) for request in body.requests]
+                )
+            else:
+                raise ProtocolError(
+                    f"site {self.site_id!r} received unexpected frame body "
+                    f"{type(body).__name__}"
+                )
         finally:
             self._caller.site = None
         return self._encoder().encode(result)
@@ -127,6 +138,53 @@ class RmiEndpoint:
             f"invocation of {method!r} on {ref} returned unexpected body "
             f"{type(result).__name__}"
         )
+
+    def invoke_batch(
+        self, site_id: str, calls: Sequence[tuple[RemoteRef, str, tuple]]
+    ) -> list[object]:
+        """Run several invocations against ``site_id`` in one round trip.
+
+        ``calls`` is a sequence of ``(ref, method, args)`` triples whose
+        refs must all live on ``site_id``.  Returns a list aligned with
+        ``calls``: the return value for calls that succeeded, the
+        reconstructed exception *instance* for calls that failed — batched
+        calls fail independently, so one bad entry never poisons the rest.
+        Local refs short-circuit through the object table like
+        :meth:`invoke`.
+        """
+        if not calls:
+            return []
+        requests = []
+        for ref, method, args in calls:
+            if ref.site_id != site_id:
+                raise ProtocolError(
+                    f"batched call targets {ref.site_id!r}, expected {site_id!r}; "
+                    "a batch shares one destination site"
+                )
+            requests.append(InvokeRequest(object_id=ref.object_id, method=method, args=args))
+        if site_id == self.site_id:
+            results: list = [self.objects.dispatch(request) for request in requests]
+        else:
+            payload = self._encoder().encode(InvokeBatchRequest(requests=requests))
+            response_payload = self._endpoint.call(site_id, payload)
+            decoded = self._decoder().decode(response_payload)
+            if not isinstance(decoded, InvokeBatchResponse) or len(decoded.results) != len(requests):
+                raise ProtocolError(
+                    f"batched invocation on {site_id!r} returned unexpected body "
+                    f"{type(decoded).__name__}"
+                )
+            results = decoded.results
+        outcomes: list[object] = []
+        for result in results:
+            if isinstance(result, InvokeSuccess):
+                outcomes.append(result.value)
+            elif isinstance(result, InvokeFailure):
+                outcomes.append(result.to_exception())
+            else:
+                raise ProtocolError(
+                    f"batched invocation returned unexpected entry {type(result).__name__}"
+                )
+        return outcomes
 
     def invoke_oneway(self, ref: RemoteRef, method: str, args: tuple = (), kwargs: dict | None = None) -> None:
         """Fire-and-forget invocation (update dissemination, invalidations).

@@ -1,10 +1,14 @@
 """The invocation protocol: what travels inside transport payloads.
 
-Three frame bodies, all ordinary registered classes:
+Five frame bodies, all ordinary registered classes:
 
 * :class:`InvokeRequest` — target object id, method name, arguments;
 * :class:`InvokeSuccess` — the return value;
-* :class:`InvokeFailure` — a structured description of a remote exception.
+* :class:`InvokeFailure` — a structured description of a remote exception;
+* :class:`InvokeBatchRequest` / :class:`InvokeBatchResponse` — several
+  invocations on one destination site sharing a single network round
+  trip (the batched-demand fast path of the fault resolver).  Each
+  batched call succeeds or fails independently.
 
 Failures carry the exception's wire name so well-known middleware
 exceptions (``NameNotFoundError``, ``DisconnectedError``, …) re-raise as
@@ -73,20 +77,52 @@ class InvokeFailure:
             remote_traceback=traceback_text,
         )
 
-    def raise_(self) -> "NoReturn":  # type: ignore[name-defined]  # noqa: F821
-        """Re-raise at the caller.
+    def to_exception(self) -> BaseException:
+        """The local exception this failure reconstructs to.
 
         Middleware exceptions from :mod:`repro.util.errors` reconstruct as
         their own type; anything else becomes :class:`RemoteError`.
         """
         error_cls = _WELL_KNOWN.get(self.error_name)
         if error_cls is not None:
-            raise error_cls(self.message)
-        raise RemoteError(
+            return error_cls(self.message)
+        return RemoteError(
             f"remote invocation failed: {self.error_name}: {self.message}",
             remote_type=self.error_name,
             remote_traceback=self.remote_traceback,
         )
+
+    def raise_(self) -> "NoReturn":  # type: ignore[name-defined]  # noqa: F821
+        """Re-raise at the caller."""
+        raise self.to_exception()
+
+
+@dataclass(slots=True)
+class InvokeBatchRequest:
+    """Several invocations for one destination site, one round trip."""
+
+    requests: list[InvokeRequest] = field(default_factory=list)
+
+    def __getstate__(self) -> object:
+        return self.requests
+
+    def __setstate__(self, state: object) -> None:
+        self.requests = state  # type: ignore[assignment]
+
+
+@dataclass(slots=True)
+class InvokeBatchResponse:
+    """Positional results for an :class:`InvokeBatchRequest` — each an
+    :class:`InvokeSuccess` or :class:`InvokeFailure`, aligned with the
+    request list."""
+
+    results: list = field(default_factory=list)
+
+    def __getstate__(self) -> object:
+        return self.results
+
+    def __setstate__(self, state: object) -> None:
+        self.results = state  # type: ignore[assignment]
 
 
 #: Middleware exception types that cross the wire losslessly.
@@ -103,5 +139,7 @@ for _protocol_cls, _wire_name in (
     (InvokeRequest, "rmi.InvokeRequest"),
     (InvokeSuccess, "rmi.InvokeSuccess"),
     (InvokeFailure, "rmi.InvokeFailure"),
+    (InvokeBatchRequest, "rmi.InvokeBatchRequest"),
+    (InvokeBatchResponse, "rmi.InvokeBatchResponse"),
 ):
     global_registry.register(_protocol_cls, name=_wire_name)

@@ -12,7 +12,7 @@ from __future__ import annotations
 import struct
 
 from repro.serial import tags
-from repro.serial.encoder import _recursion_headroom
+from repro.serial.encoder import _LAZY_GUARD_DEPTH, _RecursionGuard
 from repro.serial.registry import TypeRegistry, global_registry
 from repro.serial.swizzle import NullSwizzler, SwizzleDescriptor, Unswizzler
 from repro.util.errors import SerializationError
@@ -38,9 +38,9 @@ class Decoder:
     def decode(self, data: bytes) -> object:
         reader = _Reader(data)
         # Decoding nests as deeply as encoding did; see the encoder's
-        # _recursion_headroom for rationale.
-        with _recursion_headroom(self.max_depth):
-            value = self._read(reader, memo=[])
+        # _RecursionGuard for rationale (and why it arms lazily).
+        with _RecursionGuard(self.max_depth) as guard:
+            value = self._read(reader, memo=[], depth=0, guard=guard)
         if not reader.exhausted:
             raise SerializationError(
                 f"trailing garbage after frame: {reader.remaining} bytes unread"
@@ -50,7 +50,11 @@ class Decoder:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _read(self, reader: "_Reader", memo: list[object]) -> object:
+    def _read(
+        self, reader: "_Reader", memo: list[object], depth: int, guard: "_RecursionGuard"
+    ) -> object:
+        if depth >= _LAZY_GUARD_DEPTH and not guard.armed:
+            guard.ensure()
         tag = reader.u8()
         if tag == tags.NONE:
             return None
@@ -77,7 +81,7 @@ class Decoder:
             out: list[object] = []
             memo.append(out)
             for _ in range(reader.u32()):
-                out.append(self._read(reader, memo))
+                out.append(self._read(reader, memo, depth + 1, guard))
             return out
         if tag == tags.TUPLE:
             # Tuples are immutable: decode into a placeholder slot, then
@@ -86,41 +90,41 @@ class Decoder:
             # is a sender bug and surfaces as a placeholder leak.
             slot = len(memo)
             memo.append(_PENDING)
-            items = tuple(self._read(reader, memo) for _ in range(reader.u32()))
+            items = tuple(self._read(reader, memo, depth + 1, guard) for _ in range(reader.u32()))
             memo[slot] = items
             return items
         if tag == tags.SET:
             slot = len(memo)
             memo.append(_PENDING)
-            items = {self._read(reader, memo) for _ in range(reader.u32())}
+            items = {self._read(reader, memo, depth + 1, guard) for _ in range(reader.u32())}
             memo[slot] = items
             return items
         if tag == tags.FROZENSET:
             slot = len(memo)
             memo.append(_PENDING)
-            items = frozenset(self._read(reader, memo) for _ in range(reader.u32()))
+            items = frozenset(self._read(reader, memo, depth + 1, guard) for _ in range(reader.u32()))
             memo[slot] = items
             return items
         if tag == tags.DICT:
             mapping: dict[object, object] = {}
             memo.append(mapping)
             for _ in range(reader.u32()):
-                key = self._read(reader, memo)
-                mapping[key] = self._read(reader, memo)
+                key = self._read(reader, memo, depth + 1, guard)
+                mapping[key] = self._read(reader, memo, depth + 1, guard)
             return mapping
         if tag == tags.OBJECT:
             name = reader.take(reader.u32()).decode("utf-8")
             entry = self.registry.lookup_name(name)
             instance = entry.factory()
             memo.append(instance)
-            state = self._read(reader, memo)
+            state = self._read(reader, memo, depth + 1, guard)
             entry.set_state(instance, state)
             return instance
         if tag == tags.SWIZZLED:
             kind = reader.take(reader.u32()).decode("utf-8")
             slot = len(memo)
             memo.append(_PENDING)
-            data = self._read(reader, memo)
+            data = self._read(reader, memo, depth + 1, guard)
             materialized = self.unswizzler.unswizzle(SwizzleDescriptor(kind=kind, data=data))
             memo[slot] = materialized
             return materialized

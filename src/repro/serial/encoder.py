@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import struct
 import sys
-from contextlib import contextmanager
 
 from repro.serial import tags
 from repro.serial.registry import TypeRegistry, global_registry
@@ -61,19 +60,25 @@ class Encoder:
         # corrupt back-references.
         memo = _Memo()
         # Long linked structures (the paper's 1000-object lists) nest one
-        # encoder level per element; give the interpreter stack room.
-        with _recursion_headroom(self.max_depth):
-            self._write(out, value, memo=memo, depth=0)
+        # encoder level per element; the guard gives the interpreter stack
+        # room — lazily, so shallow frames (the RPC hot path) never pay
+        # for a full stack walk.
+        with _RecursionGuard(self.max_depth) as guard:
+            self._write(out, value, memo=memo, depth=0, guard=guard)
         return bytes(out)
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _write(self, out: bytearray, value: object, memo: '_Memo', depth: int) -> None:
+    def _write(
+        self, out: bytearray, value: object, memo: '_Memo', depth: int, guard: '_RecursionGuard'
+    ) -> None:
         if depth > self.max_depth:
             raise SerializationError(
                 f"object graph exceeds maximum serialization depth ({self.max_depth})"
             )
+        if depth >= _LAZY_GUARD_DEPTH and not guard.armed:
+            guard.ensure()
 
         if value is None:
             out.append(tags.NONE)
@@ -115,35 +120,35 @@ class Encoder:
             memo.add(value)
             out.append(tags.SWIZZLED)
             self._write_str(out, descriptor.kind)
-            self._write(out, descriptor.data, memo, depth + 1)
+            self._write(out, descriptor.data, memo, depth + 1, guard)
             return
 
         if value_type is list:
-            self._write_items(out, tags.LIST, value, value, memo, depth)  # type: ignore[arg-type]
+            self._write_items(out, tags.LIST, value, value, memo, depth, guard)  # type: ignore[arg-type]
             return
         if value_type is tuple:
-            self._write_items(out, tags.TUPLE, value, value, memo, depth)  # type: ignore[arg-type]
+            self._write_items(out, tags.TUPLE, value, value, memo, depth, guard)  # type: ignore[arg-type]
             return
         if value_type is set:
-            self._write_items(out, tags.SET, value, _canonical(value), memo, depth)  # type: ignore[arg-type]
+            self._write_items(out, tags.SET, value, _canonical(value), memo, depth, guard)  # type: ignore[arg-type]
             return
         if value_type is frozenset:
-            self._write_items(out, tags.FROZENSET, value, _canonical(value), memo, depth)  # type: ignore[arg-type]
+            self._write_items(out, tags.FROZENSET, value, _canonical(value), memo, depth, guard)  # type: ignore[arg-type]
             return
         if value_type is dict:
             memo.add(value)
             out.append(tags.DICT)
             out += _U32.pack(len(value))  # type: ignore[arg-type]
             for key, item in value.items():  # type: ignore[union-attr]
-                self._write(out, key, memo, depth + 1)
-                self._write(out, item, memo, depth + 1)
+                self._write(out, key, memo, depth + 1, guard)
+                self._write(out, item, memo, depth + 1, guard)
             return
 
         entry = self.registry.lookup_class(value_type)
         memo.add(value)
         out.append(tags.OBJECT)
         self._write_str(out, entry.name)
-        self._write(out, entry.get_state(value), memo, depth + 1)
+        self._write(out, entry.get_state(value), memo, depth + 1, guard)
 
     def _write_items(
         self,
@@ -153,6 +158,7 @@ class Encoder:
         items: object,
         memo: "_Memo",
         depth: int,
+        guard: "_RecursionGuard",
     ) -> None:
         # Memoize the *original* container (sets are written through a
         # canonicalized copy, but aliases must hit the original's id).
@@ -161,7 +167,7 @@ class Encoder:
         out.append(tag)
         out += _U32.pack(len(sequence))
         for item in sequence:
-            self._write(out, item, memo, depth + 1)
+            self._write(out, item, memo, depth + 1, guard)
 
     @staticmethod
     def _write_int(out: bytearray, value: int) -> None:
@@ -193,22 +199,47 @@ def _canonical(items: set | frozenset) -> list:
         return sorted(items, key=lambda item: (type(item).__name__, repr(item)))
 
 
-@contextmanager
-def _recursion_headroom(levels: int):
-    """Temporarily raise the interpreter recursion limit.
+#: Serializer nesting depth at which a frame stops being "plausibly shallow"
+#: and the recursion guard arms.  Default recursion limits leave thousands of
+#: frames of headroom, so graphs shallower than this can never trip the
+#: interpreter limit and skip the stack walk entirely.
+_LAZY_GUARD_DEPTH = 64
 
-    Each serializer level costs a handful of Python frames; budget four
-    per level on top of whatever is already in use.
+
+class _RecursionGuard:
+    """Lazily raise the interpreter recursion limit for deep graphs.
+
+    Constructing and entering the guard is free: the full stack walk and
+    ``sys.setrecursionlimit`` call only happen when :meth:`ensure` is
+    invoked, i.e. once the serializer has actually nested past
+    ``_LAZY_GUARD_DEPTH`` levels.  Each serializer level costs a handful
+    of Python frames; budget four per level on top of whatever is in use.
     """
-    needed = _stack_depth() + 4 * min(levels, 200_000) + 100
-    old = sys.getrecursionlimit()
-    if needed > old:
-        sys.setrecursionlimit(needed)
-    try:
-        yield
-    finally:
+
+    __slots__ = ("_levels", "_old_limit", "armed")
+
+    def __init__(self, levels: int) -> None:
+        self._levels = levels
+        self._old_limit: int | None = None
+        self.armed = False
+
+    def __enter__(self) -> "_RecursionGuard":
+        return self
+
+    def ensure(self) -> None:
+        if self.armed:
+            return
+        self.armed = True
+        needed = _stack_depth() + 4 * min(self._levels, 200_000) + 100
+        old = sys.getrecursionlimit()
         if needed > old:
-            sys.setrecursionlimit(old)
+            self._old_limit = old
+            sys.setrecursionlimit(needed)
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._old_limit is not None:
+            sys.setrecursionlimit(self._old_limit)
+            self._old_limit = None
 
 
 def _stack_depth() -> int:

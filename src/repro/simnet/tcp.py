@@ -1,10 +1,24 @@
-"""Localhost TCP transport.
+"""Localhost TCP transport with connection pooling.
 
 The closest analogue of the paper's RMI-over-Ethernet deployment: frames
 really cross the operating system's socket layer.  Each attached site
-binds a listening socket on ``127.0.0.1``; calls open a connection per
-request (simple and robust; connection pooling is an optimisation the
-middleware above never observes).
+binds a listening socket on ``127.0.0.1``; callers keep persistent
+per-``(src, dst)`` connections in a pool, so repeated RPCs measure
+protocol cost rather than TCP handshakes.  Server connections serve
+frames until the peer closes.
+
+Pool behaviour:
+
+* a call acquires an idle pooled connection (health-checked: an idle
+  socket that turns readable has been closed or reset by the peer and is
+  discarded) or opens a fresh one;
+* a call that fails on a *reused* connection retries once on a fresh
+  connection — the peer may have restarted since the socket was pooled;
+* detaching a site closes every pooled connection from or to it, and the
+  pool refuses to retain connections to detached sites, so reconnecting
+  peers (new port) are picked up transparently;
+* reuse/creation counts are recorded in :class:`PoolStats` —
+  ``connections_reused`` in site telemetry comes from here.
 
 The in-process :class:`~repro.simnet.network.Network` object doubles as
 the port directory, which keeps the transport self-contained for tests
@@ -15,9 +29,11 @@ socket would physically work.
 
 from __future__ import annotations
 
+import select
 import socket
 import struct
 import threading
+from dataclasses import dataclass, field
 
 from repro.simnet.message import Message, MessageKind
 from repro.simnet.network import Network
@@ -31,6 +47,9 @@ _KIND_CODES = {
     MessageKind.ERROR: 4,
 }
 _CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
+
+#: Idle connections kept per (src, dst) pair; extras are closed on release.
+POOL_SIZE_PER_PAIR = 8
 
 
 def _send_frame(sock: socket.socket, message: Message) -> None:
@@ -66,8 +85,49 @@ def _recv_frame(sock: socket.socket) -> Message:
     )
 
 
+@dataclass
+class _PairPoolStats:
+    """Connection accounting for one ordered site pair."""
+
+    created: int = 0
+    reused: int = 0
+
+
+@dataclass
+class PoolStats:
+    """Aggregated connection-pool counters for a whole TCP network."""
+
+    per_pair: dict[tuple[str, str], _PairPoolStats] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def pair(self, src: str, dst: str) -> _PairPoolStats:
+        with self._lock:
+            return self.per_pair.setdefault((src, dst), _PairPoolStats())
+
+    def record_created(self, src: str, dst: str) -> None:
+        self.pair(src, dst).created += 1
+
+    def record_reused(self, src: str, dst: str) -> None:
+        self.pair(src, dst).reused += 1
+
+    @property
+    def total_created(self) -> int:
+        with self._lock:
+            return sum(s.created for s in self.per_pair.values())
+
+    @property
+    def total_reused(self) -> int:
+        with self._lock:
+            return sum(s.reused for s in self.per_pair.values())
+
+    def reused_from(self, site_id: str) -> int:
+        """Connections reused with ``site_id`` as the caller."""
+        with self._lock:
+            return sum(s.reused for (src, _dst), s in self.per_pair.items() if src == site_id)
+
+
 class TcpNetwork(Network):
-    """Length-prefixed frames over localhost TCP."""
+    """Length-prefixed frames over pooled localhost TCP connections."""
 
     def __init__(self, *args: object, timeout: float = 30.0, **kwargs: object):
         super().__init__(*args, **kwargs)  # type: ignore[arg-type]
@@ -75,6 +135,9 @@ class TcpNetwork(Network):
         self._ports: dict[str, int] = {}
         self._servers: dict[str, socket.socket] = {}
         self._accept_threads: dict[str, threading.Thread] = {}
+        self._pool: dict[tuple[str, str], list[socket.socket]] = {}
+        self._pool_lock = threading.Lock()
+        self.pool_stats = PoolStats()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -101,11 +164,17 @@ class TcpNetwork(Network):
                 pass
         self._ports.pop(site_id, None)
         self._accept_threads.pop(site_id, None)
+        self._drop_pooled(site_id)
 
     def close(self) -> None:
         super().close()
         for site_id in list(self._servers):
             self._on_detach(site_id)
+        with self._pool_lock:
+            leftovers = [sock for bucket in self._pool.values() for sock in bucket]
+            self._pool.clear()
+        for sock in leftovers:
+            _close_quietly(sock)
 
     def port_of(self, site_id: str) -> int:
         """The TCP port a site listens on (useful for diagnostics)."""
@@ -115,6 +184,51 @@ class TcpNetwork(Network):
             raise TransportError(f"no site {site_id!r} attached to this network") from None
 
     # ------------------------------------------------------------------
+    # connection pool
+    # ------------------------------------------------------------------
+    def _acquire(self, src: str, dst: str) -> tuple[socket.socket, bool]:
+        """An exclusive connection ``src -> dst``: pooled if healthy, else fresh."""
+        stale: list[socket.socket] = []
+        acquired: socket.socket | None = None
+        with self._pool_lock:
+            bucket = self._pool.get((src, dst))
+            while bucket:
+                sock = bucket.pop()
+                if _idle_socket_alive(sock):
+                    acquired = sock
+                    break
+                stale.append(sock)
+        for sock in stale:
+            _close_quietly(sock)
+        if acquired is not None:
+            self.pool_stats.record_reused(src, dst)
+            return acquired, True
+        fresh = socket.create_connection(("127.0.0.1", self.port_of(dst)), timeout=self._timeout)
+        self.pool_stats.record_created(src, dst)
+        return fresh, False
+
+    def _release(self, src: str, dst: str, sock: socket.socket) -> None:
+        """Return a connection to the pool (or close it if the pool is full,
+        the network is closed, or the destination has detached)."""
+        with self._pool_lock:
+            if not self._closed and dst in self._ports:
+                bucket = self._pool.setdefault((src, dst), [])
+                if len(bucket) < POOL_SIZE_PER_PAIR:
+                    bucket.append(sock)
+                    return
+        _close_quietly(sock)
+
+    def _drop_pooled(self, site_id: str) -> None:
+        """Close every pooled connection from or to ``site_id``."""
+        with self._pool_lock:
+            doomed: list[socket.socket] = []
+            for (src, dst) in list(self._pool):
+                if src == site_id or dst == site_id:
+                    doomed.extend(self._pool.pop((src, dst)))
+        for sock in doomed:
+            _close_quietly(sock)
+
+    # ------------------------------------------------------------------
     # messaging
     # ------------------------------------------------------------------
     def call(self, src: str, dst: str, payload: bytes, *, timeout: float | None = None) -> bytes:
@@ -122,15 +236,7 @@ class TcpNetwork(Network):
         self._check_route(src, dst)
         request = Message(kind=MessageKind.REQUEST, src=src, dst=dst, payload=payload)
         self._transit(request)  # accounting only; the wire provides real delay
-        try:
-            with socket.create_connection(
-                ("127.0.0.1", self.port_of(dst)),
-                timeout=timeout if timeout is not None else self._timeout,
-            ) as sock:
-                _send_frame(sock, request)
-                response = _recv_frame(sock)
-        except (OSError, ConnectionError) as exc:
-            raise TransportError(f"tcp call {src!r}->{dst!r} failed: {exc}") from exc
+        response = self._exchange(src, dst, request, timeout=timeout)
         self._check_route(dst, src)
         self._transit(request.response(response.payload))
         if response.kind is MessageKind.ERROR:
@@ -139,18 +245,55 @@ class TcpNetwork(Network):
             )
         return response.payload
 
+    def _exchange(
+        self, src: str, dst: str, request: Message, *, timeout: float | None
+    ) -> Message:
+        """Send one request over a pooled connection and read its response.
+
+        A failure on a *reused* connection retries once on a fresh one:
+        the pooled socket may have gone stale while idle (peer restarted,
+        connection reset) without the health check noticing in time.
+        """
+        for attempt in (0, 1):
+            try:
+                sock, reused = self._acquire(src, dst)
+            except (OSError, ConnectionError) as exc:
+                raise TransportError(f"tcp call {src!r}->{dst!r} failed: {exc}") from exc
+            try:
+                if timeout is not None:
+                    sock.settimeout(timeout)
+                _send_frame(sock, request)
+                response = _recv_frame(sock)
+            except (OSError, ConnectionError) as exc:
+                _close_quietly(sock)
+                if reused and attempt == 0:
+                    continue
+                raise TransportError(f"tcp call {src!r}->{dst!r} failed: {exc}") from exc
+            if timeout is not None:
+                sock.settimeout(self._timeout)
+            self._release(src, dst, sock)
+            return response
+        raise TransportError(f"tcp call {src!r}->{dst!r} failed")  # pragma: no cover
+
     def cast(self, src: str, dst: str, payload: bytes) -> None:
         self._check_open()
         self._check_route(src, dst)
         message = Message(kind=MessageKind.CAST, src=src, dst=dst, payload=payload)
         self._transit(message)
-        try:
-            with socket.create_connection(
-                ("127.0.0.1", self.port_of(dst)), timeout=self._timeout
-            ) as sock:
+        for attempt in (0, 1):
+            try:
+                sock, reused = self._acquire(src, dst)
+            except (OSError, ConnectionError) as exc:
+                raise TransportError(f"tcp cast {src!r}->{dst!r} failed: {exc}") from exc
+            try:
                 _send_frame(sock, message)
-        except (OSError, ConnectionError) as exc:
-            raise TransportError(f"tcp cast {src!r}->{dst!r} failed: {exc}") from exc
+            except (OSError, ConnectionError) as exc:
+                _close_quietly(sock)
+                if reused and attempt == 0:
+                    continue
+                raise TransportError(f"tcp cast {src!r}->{dst!r} failed: {exc}") from exc
+            self._release(src, dst, sock)
+            return
 
     # ------------------------------------------------------------------
     # server side
@@ -169,29 +312,51 @@ class TcpNetwork(Network):
             ).start()
 
     def _serve_connection(self, site_id: str, conn: socket.socket) -> None:
+        """Serve frames on one persistent connection until the peer closes."""
         with conn:
-            try:
-                message = _recv_frame(conn)
-            except (OSError, ConnectionError):
-                return
-            handler = self._handlers.get(site_id)
-            if handler is None:
-                return
-            if message.kind is MessageKind.CAST:
+            while True:
                 try:
-                    handler(message)
-                except Exception:  # noqa: BLE001 - one-way, nothing to report to
-                    pass
-                return
-            try:
-                result = handler(message)
-                if result is None:
-                    reply = message.error(b"handler returned no response")
-                else:
-                    reply = message.response(result)
-            except Exception as exc:  # noqa: BLE001 - reported to the caller
-                reply = message.error(repr(exc).encode("utf-8"))
-            try:
-                _send_frame(conn, reply)
-            except (OSError, ConnectionError):
-                pass
+                    message = _recv_frame(conn)
+                except (OSError, ConnectionError):
+                    return
+                handler = self._handlers.get(site_id)
+                if handler is None:
+                    return
+                if message.kind is MessageKind.CAST:
+                    try:
+                        handler(message)
+                    except Exception:  # noqa: BLE001 - one-way, nothing to report to
+                        pass
+                    continue
+                try:
+                    result = handler(message)
+                    if result is None:
+                        reply = message.error(b"handler returned no response")
+                    else:
+                        reply = message.response(result)
+                except Exception as exc:  # noqa: BLE001 - reported to the caller
+                    reply = message.error(repr(exc).encode("utf-8"))
+                try:
+                    _send_frame(conn, reply)
+                except (OSError, ConnectionError):
+                    return
+
+
+def _idle_socket_alive(sock: socket.socket) -> bool:
+    """Health-check a pooled connection.
+
+    An idle pooled socket should have nothing to read; readability means
+    the peer closed it (EOF) or reset it while it sat in the pool.
+    """
+    try:
+        readable, _writable, _errored = select.select([sock], [], [], 0)
+    except (OSError, ValueError):
+        return False
+    return not readable
+
+
+def _close_quietly(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:
+        pass

@@ -26,6 +26,7 @@ def test_all_commands_registered():
         "future-cpu",
         "strategy-study",
         "memory-study",
+        "fault-batching",
     }
     assert set(COMMANDS) == expected
 

@@ -1,0 +1,68 @@
+"""Tests for batched invocation: many calls, one round trip."""
+
+import pytest
+
+from repro.rmi.endpoint import RmiEndpoint
+from repro.rmi.refs import RemoteRef
+from repro.simnet.loopback import LoopbackNetwork
+from repro.util.errors import ProtocolError, RemoteError
+
+
+class Calculator:
+    def add(self, a, b):
+        return a + b
+
+    def fail(self):
+        raise ValueError("nope")
+
+
+@pytest.fixture
+def endpoints():
+    network = LoopbackNetwork()
+    server = RmiEndpoint(network, "server")
+    client = RmiEndpoint(network, "client")
+    yield server, client
+    network.close()
+
+
+class TestInvokeBatch:
+    def test_many_calls_one_round_trip(self, endpoints):
+        server, client = endpoints
+        refs = [server.export(Calculator()) for _ in range(3)]
+        before = client.network.stats.link("client", "server").messages
+        results = client.invoke_batch(
+            "server", [(ref, "add", (i, i)) for i, ref in enumerate(refs)]
+        )
+        assert results == [0, 2, 4]
+        assert client.network.stats.link("client", "server").messages == before + 1
+
+    def test_empty_batch_is_free(self, endpoints):
+        _server, client = endpoints
+        before = client.network.stats.total_messages
+        assert client.invoke_batch("server", []) == []
+        assert client.network.stats.total_messages == before
+
+    def test_entries_fail_independently(self, endpoints):
+        server, client = endpoints
+        ref = server.export(Calculator())
+        good, bad, also_good = client.invoke_batch(
+            "server", [(ref, "add", (1, 2)), (ref, "fail", ()), (ref, "add", (3, 4))]
+        )
+        assert good == 3
+        assert isinstance(bad, RemoteError)
+        assert bad.remote_type == "ValueError"
+        assert also_good == 7
+
+    def test_mixed_sites_rejected(self, endpoints):
+        server, client = endpoints
+        ref = server.export(Calculator())
+        stranger = RemoteRef("elsewhere", "obj:1")
+        with pytest.raises(ProtocolError):
+            client.invoke_batch("server", [(ref, "add", (1, 1)), (stranger, "add", (1, 1))])
+
+    def test_local_batch_short_circuits(self, endpoints):
+        server, _client = endpoints
+        ref = server.export(Calculator())
+        before = server.network.stats.total_messages
+        assert server.invoke_batch("server", [(ref, "add", (2, 2))]) == [4]
+        assert server.network.stats.total_messages == before

@@ -1,0 +1,59 @@
+"""Tests for the lazily-armed recursion guard in the serializer."""
+
+import sys
+
+import repro.serial.encoder as encoder_module
+from repro.serial.decoder import Decoder
+from repro.serial.encoder import _LAZY_GUARD_DEPTH, Encoder
+
+
+def _nested_list(depth: int) -> object:
+    value: object = "leaf"
+    for _ in range(depth):
+        value = [value]
+    return value
+
+
+class TestLazyArming:
+    def test_shallow_encode_never_walks_the_stack(self, monkeypatch):
+        calls = []
+        real = encoder_module._stack_depth
+        monkeypatch.setattr(
+            encoder_module, "_stack_depth", lambda: calls.append(1) or real()
+        )
+        Encoder().encode({"a": [1, 2, 3], "b": ("x", {"y"}), "c": b"bytes"})
+        assert calls == []
+
+    def test_shallow_decode_never_walks_the_stack(self, monkeypatch):
+        frame = Encoder().encode([1, [2, [3]]])
+        calls = []
+        real = encoder_module._stack_depth
+        monkeypatch.setattr(
+            encoder_module, "_stack_depth", lambda: calls.append(1) or real()
+        )
+        assert Decoder().decode(frame) == [1, [2, [3]]]
+        assert calls == []
+
+    def test_deep_encode_arms_exactly_once(self, monkeypatch):
+        calls = []
+        real = encoder_module._stack_depth
+        monkeypatch.setattr(
+            encoder_module, "_stack_depth", lambda: calls.append(1) or real()
+        )
+        Encoder().encode(_nested_list(_LAZY_GUARD_DEPTH * 4))
+        assert len(calls) == 1
+
+    def test_deep_graph_still_roundtrips(self):
+        depth = 3000  # far past any default interpreter recursion limit
+        value = _nested_list(depth)
+        decoded = Encoder().encode(value)
+        result = Decoder().decode(decoded)
+        for _ in range(depth):
+            assert isinstance(result, list) and len(result) == 1
+            result = result[0]
+        assert result == "leaf"
+
+    def test_recursion_limit_restored_after_deep_encode(self):
+        before = sys.getrecursionlimit()
+        Encoder().encode(_nested_list(3000))
+        assert sys.getrecursionlimit() == before

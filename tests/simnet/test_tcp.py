@@ -88,6 +88,43 @@ class TestFailureModes:
         net.reconnect("b")
         assert net.call("a", "b", b"y") == b"echo:y"
 
+    def test_pooled_connection_reused_across_calls(self, net):
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        for i in range(4):
+            assert net.call("a", "b", b"ping%d" % i) == b"echo:ping%d" % i
+        assert net.pool_stats.total_created == 1
+        assert net.pool_stats.total_reused == 3
+        assert net.pool_stats.reused_from("a") == 3
+        assert net.pool_stats.reused_from("b") == 0
+
+    def test_reconnect_after_peer_detach_and_reattach(self, net):
+        """Pooled sockets to a detached peer are dropped; a re-attached
+        peer (new port) is reachable again through a fresh connection."""
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        assert net.call("a", "b", b"one") == b"echo:one"
+        net.detach("b")
+        with pytest.raises(TransportError):
+            net.call("a", "b", b"gone")
+        net.attach("b", _echo)
+        assert net.call("a", "b", b"two") == b"echo:two"
+        # Both successful calls opened fresh sockets: the pooled one from
+        # before the detach must not have been reused against the new port.
+        assert net.pool_stats.total_created == 2
+
+    def test_stale_pooled_socket_retried_transparently(self, net):
+        """A pooled connection the server side has since closed must not
+        surface as an error: the caller retries on a fresh socket."""
+        net.attach("a", lambda m: None)
+        net.attach("b", _echo)
+        assert net.call("a", "b", b"one") == b"echo:one"
+        # Kill the pooled socket behind the pool's back.
+        with net._pool_lock:
+            [pooled] = net._pool[("a", "b")]
+        pooled.close()
+        assert net.call("a", "b", b"two") == b"echo:two"
+
     def test_concurrent_clients(self, net):
         net.attach("server", _echo)
         results = {}
