@@ -1,0 +1,89 @@
+"""Baselines: adopt obilint on code with pre-existing findings.
+
+A baseline records how many findings each ``(path, rule)`` pair had at
+adoption time; later runs fail only on findings *beyond* that count.
+Fingerprints deliberately exclude line numbers — edits above a finding
+move it without making it new — so the contract is: you may keep the
+debt you had, you may pay it down (the baseline is counts, so fixing one
+finding never unmasks another), but you cannot add to it.
+
+Workflow::
+
+    python -m repro.analysis benchmarks tests --write-baseline .github/obilint-baseline.json
+    # commit the baseline, then in CI:
+    python -m repro.analysis benchmarks tests --baseline .github/obilint-baseline.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.engine import AnalysisReport
+from repro.analysis.findings import Finding
+
+#: Bump on incompatible baseline-file changes.
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    return f"{finding.path.replace(chr(92), '/')}::{finding.rule}"
+
+
+def counts_of(findings: list[Finding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        key = fingerprint(finding)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def write_baseline(path: str | Path, report: AnalysisReport) -> int:
+    """Record the report's findings as accepted debt; returns how many."""
+    entries = counts_of(report.all_findings())
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return sum(entries.values())
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {version!r}; "
+            f"this obilint expects {BASELINE_VERSION} — regenerate with --write-baseline"
+        )
+    entries = payload.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"baseline {path} is malformed: 'entries' must be an object")
+    return {str(key): int(value) for key, value in entries.items()}
+
+
+def apply_baseline(report: AnalysisReport, baseline: dict[str, int]) -> AnalysisReport:
+    """Split the report's findings into new ones and accepted debt.
+
+    Returns a report whose ``findings`` are only the findings beyond the
+    baseline's counts; the matched ones move to ``baselined``.  Parse
+    failures are never baselined — a file that stops parsing is always
+    new breakage.
+    """
+    remaining = dict(baseline)
+    new: list[Finding] = []
+    accepted: list[Finding] = []
+    for finding in sorted(report.findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
+        key = fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            accepted.append(finding)
+        else:
+            new.append(finding)
+    return AnalysisReport(
+        findings=new,
+        suppressed=report.suppressed,
+        files_analyzed=report.files_analyzed,
+        parse_failures=report.parse_failures,
+        baselined=accepted,
+    )

@@ -16,8 +16,14 @@ import os
 import sys
 from collections.abc import Sequence
 
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
 from repro.analysis.engine import Analyzer
-from repro.analysis.report import render_json, render_rule_catalog, render_text
+from repro.analysis.report import (
+    render_json,
+    render_rule_catalog,
+    render_sarif,
+    render_text,
+)
 from repro.analysis.rules import build_rules
 
 
@@ -29,9 +35,19 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*", help="files or directories to analyze")
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="fail only on findings beyond this baseline (see --write-baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current findings as accepted debt and exit 0",
     )
     parser.add_argument(
         "--strict",
@@ -113,8 +129,28 @@ def _run(argv: Sequence[str] | None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if args.write_baseline:
+        recorded = write_baseline(args.write_baseline, report)
+        print(f"obilint: baseline of {recorded} finding(s) written to {args.write_baseline}")
+        return 0
+    if args.baseline:
+        try:
+            report = apply_baseline(report, load_baseline(args.baseline))
+        except FileNotFoundError:
+            print(
+                f"error: baseline file not found: {args.baseline} "
+                "(generate it with --write-baseline)",
+                file=sys.stderr,
+            )
+            return 2
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     if args.format == "json":
         print(render_json(report, strict=args.strict))
+    elif args.format == "sarif":
+        print(render_sarif(report, rules, strict=args.strict))
     else:
         print(render_text(report, strict=args.strict, verbose=args.verbose))
     return 1 if report.failed(strict=args.strict) else 0

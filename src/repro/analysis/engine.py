@@ -13,7 +13,7 @@ import ast
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.analysis.findings import Finding, Rule, Severity
+from repro.analysis.findings import Finding, ProjectRule, Rule, Severity
 from repro.analysis.suppressions import SuppressionIndex, parse_suppressions
 from repro.analysis.visitor import import_map
 
@@ -54,6 +54,9 @@ class AnalysisReport:
     suppressed: list[Finding]
     files_analyzed: int
     parse_failures: list[Finding]
+    #: Findings matched by a ``--baseline`` file: accepted debt.  They
+    #: are reported but never fail the run (see repro.analysis.baseline).
+    baselined: list[Finding] = field(default_factory=list)
 
     def counts(self) -> dict[str, int]:
         counts = {"error": 0, "warning": 0}
@@ -128,6 +131,9 @@ class Analyzer:
         findings: list[Finding] = []
         suppressed: list[Finding] = []
         parse_failures: list[Finding] = []
+        modules: list[ModuleSource] = []
+        module_rules = [r for r in self.rules if not isinstance(r, ProjectRule)]
+        project_rules = [r for r in self.rules if isinstance(r, ProjectRule)]
         for path in files:
             try:
                 module = ModuleSource.parse(path)
@@ -145,7 +151,8 @@ class Analyzer:
                     )
                 )
                 continue
-            for rule in self.rules:
+            modules.append(module)
+            for rule in module_rules:
                 for finding in rule.check(module):
                     if module.suppressions.matches(finding.rule, finding.name, finding.line):
                         suppressed.append(finding)
@@ -153,6 +160,18 @@ class Analyzer:
                         findings.append(finding)
             if self.strict:
                 findings.extend(self._bare_suppressions(module))
+        if project_rules and modules:
+            by_path = {module.display_path: module for module in modules}
+            cache: dict = {}
+            for rule in project_rules:
+                for finding in rule.check_project(modules, cache):
+                    owner = by_path.get(finding.path)
+                    if owner is not None and owner.suppressions.matches(
+                        finding.rule, finding.name, finding.line
+                    ):
+                        suppressed.append(finding)
+                    else:
+                        findings.append(finding)
         report = AnalysisReport(
             findings=findings,
             suppressed=suppressed,

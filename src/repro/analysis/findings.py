@@ -89,3 +89,25 @@ class Rule:
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
         )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Where a :class:`Rule` sees one module at a time, a project rule runs
+    once per analysis with *every* parsed module, so it can follow calls
+    across file boundaries (lock-order graphs, protocol state machines).
+    The ``cache`` dict is shared by all project rules of one run — rules
+    use it to share expensive artifacts (the symbol table, the call
+    graph) without global state leaking between runs.
+    """
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        # Project rules run through check_project; the per-module pass
+        # skips them.
+        return iter(())
+
+    def check_project(
+        self, modules: list["ModuleSource"], cache: dict
+    ) -> Iterator[Finding]:
+        raise NotImplementedError

@@ -1,18 +1,25 @@
-"""Rendering analysis reports: human text and machine JSON."""
+"""Rendering analysis reports: human text, machine JSON, and SARIF."""
 
 from __future__ import annotations
 
 import json
 
 from repro.analysis.engine import AnalysisReport
-from repro.analysis.findings import Rule
+from repro.analysis.findings import Finding, Rule
 
 #: Schema version of the JSON report; bump on incompatible changes.
 JSON_SCHEMA_VERSION = 1
 
+#: The SARIF spec version the renderer targets.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
 
 def render_text(report: AnalysisReport, *, strict: bool = False, verbose: bool = False) -> str:
     lines = [finding.format() for finding in report.all_findings()]
+    if verbose and report.baselined:
+        for finding in sorted(report.baselined, key=lambda f: (f.path, f.line)):
+            lines.append(f"{finding.format()} [baselined]")
     if verbose and report.suppressed:
         for finding in sorted(report.suppressed, key=lambda f: (f.path, f.line)):
             lines.append(f"{finding.format()} [suppressed]")
@@ -22,6 +29,8 @@ def render_text(report: AnalysisReport, *, strict: bool = False, verbose: bool =
         f"{counts['error']} errors, {counts['warning']} warnings, "
         f"{len(report.suppressed)} suppressed"
     )
+    if report.baselined:
+        summary += f", {len(report.baselined)} baselined"
     if report.failed(strict=strict):
         summary += " — FAIL"
     else:
@@ -44,8 +53,85 @@ def render_json(report: AnalysisReport, *, strict: bool = False) -> str:
         },
         "findings": [finding.to_json() for finding in report.all_findings()],
         "suppressed": [finding.to_json() for finding in report.suppressed],
+        "baselined": [finding.to_json() for finding in report.baselined],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(
+    report: AnalysisReport, rules: list[Rule], *, strict: bool = False
+) -> str:
+    """SARIF 2.1.0, the interchange format code-scanning UIs ingest.
+
+    One run, one ``tool.driver`` carrying the whole rule catalog, one
+    ``result`` per finding.  Baselined findings are included with
+    ``baselineState: "unchanged"`` so viewers can fold them; new findings
+    carry ``baselineState: "new"`` only when a baseline was applied.
+    """
+    catalog = [
+        {
+            "id": rule.id,
+            "name": _sarif_rule_name(rule.name),
+            "shortDescription": {"text": rule.description or rule.name},
+            "fullDescription": {"text": rule.rationale or rule.description or rule.name},
+            "defaultConfiguration": {"level": str(rule.severity)},
+        }
+        for rule in rules
+    ]
+    results = [
+        _sarif_result(finding, baseline_state="new" if report.baselined else None)
+        for finding in report.all_findings()
+    ]
+    results.extend(
+        _sarif_result(finding, baseline_state="unchanged")
+        for finding in sorted(report.baselined, key=lambda f: (f.path, f.line))
+    )
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "obilint",
+                        "informationUri": "https://example.invalid/obilint",
+                        "rules": catalog,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_result(finding: Finding, *, baseline_state: str | None) -> dict:
+    result = {
+        "ruleId": finding.rule,
+        "level": str(finding.severity),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                }
+            }
+        ],
+    }
+    if baseline_state is not None:
+        result["baselineState"] = baseline_state
+    return result
+
+
+def _sarif_rule_name(name: str) -> str:
+    """SARIF wants PascalCase rule names: ``lock-order-cycle`` → ``LockOrderCycle``."""
+    return "".join(part.capitalize() for part in name.split("-"))
 
 
 def render_rule_catalog(rules: list[Rule]) -> str:

@@ -8,6 +8,14 @@ the end with the next free id.
 from __future__ import annotations
 
 from repro.analysis.findings import Rule
+from repro.analysis.flow.rules import (
+    BlockingUnderLockRule,
+    DemandOutsideFaultPathRule,
+    LockOrderCycleRule,
+    PutWithoutSourceRule,
+    SpliceEscapeRule,
+    UnguardedStateRule,
+)
 from repro.analysis.rules.compiled import (
     InterfaceShadowingRule,
     MutableClassDefaultRule,
@@ -30,6 +38,13 @@ def build_rules() -> list[Rule]:
         MutableClassDefaultRule(),
         SwallowedExceptionRule(),
         NondeterministicClockRule(),
+        # Whole-program flow rules (see repro.analysis.flow).
+        LockOrderCycleRule(),
+        BlockingUnderLockRule(),
+        UnguardedStateRule(),
+        PutWithoutSourceRule(),
+        DemandOutsideFaultPathRule(),
+        SpliceEscapeRule(),
     ]
 
 

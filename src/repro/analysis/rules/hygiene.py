@@ -137,7 +137,16 @@ class NondeterministicClockRule(Rule):
                 continue
             head, _, tail = name.partition(".")
             if head == GLOBAL_RANDOM_MODULE and tail:
-                if tail == "Random":
+                if tail == "SystemRandom":
+                    # OS entropy ignores seeding entirely — no argument
+                    # form of it is replayable.
+                    yield self.finding(
+                        module,
+                        node,
+                        "random.SystemRandom() draws OS entropy and cannot be "
+                        "seeded; simnet replays need a seeded random.Random(seed)",
+                    )
+                elif tail == "Random":
                     if not node.args and not node.keywords:
                         yield self.finding(
                             module,

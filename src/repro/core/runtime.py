@@ -63,7 +63,15 @@ class MasterRecord:
 
 @dataclass
 class FaultPathStats:
-    """Counters for the batched/prefetching fault fast path."""
+    """Counters for the batched/prefetching fault fast path.
+
+    Faulting threads race on these (coalesced faults exist precisely
+    because resolution is concurrent), so increments go through
+    :meth:`add` under the internal lock — a bare ``+= 1`` loses counts
+    across a read-modify-write.  Reading individual attributes is fine
+    for monitoring; use :meth:`snapshot` when the three counters must be
+    mutually consistent.
+    """
 
     #: Demand round trips that went through the batched fast path
     #: (widened scope and/or piggybacked sibling demands).
@@ -75,6 +83,45 @@ class FaultPathStats:
     #: Faults that waited on another thread's in-flight demand instead of
     #: issuing a duplicate round trip.
     coalesced_faults: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add(
+        self,
+        *,
+        demands_batched: int = 0,
+        prefetch_hits: int = 0,
+        coalesced_faults: int = 0,
+    ) -> None:
+        """Atomically bump any subset of the counters."""
+        with self._lock:
+            self.demands_batched += demands_batched
+            self.prefetch_hits += prefetch_hits
+            self.coalesced_faults += coalesced_faults
+
+    def snapshot(self) -> dict[str, int]:
+        """A mutually-consistent reading of all three counters."""
+        with self._lock:
+            return {
+                "demands_batched": self.demands_batched,
+                "prefetch_hits": self.prefetch_hits,
+                "coalesced_faults": self.coalesced_faults,
+            }
+
+    def reset(self) -> dict[str, int]:
+        """Zero the counters; returns the values they had (snapshot-then-
+        reset is atomic, so no increment can fall between the two)."""
+        with self._lock:
+            before = {
+                "demands_batched": self.demands_batched,
+                "prefetch_hits": self.prefetch_hits,
+                "coalesced_faults": self.coalesced_faults,
+            }
+            self.demands_batched = 0
+            self.prefetch_hits = 0
+            self.coalesced_faults = 0
+        return before
 
 
 class _InflightDemand:
@@ -220,10 +267,11 @@ class Site:
         info = self._replica_record(root)
         package = cluster_ops.build_cluster_put(self, root)
         versions = self.endpoint.invoke(info.provider, "put", (package,))
-        for oid, version in versions.items():
-            record = self._replicas.get(oid)
-            if record is not None:
-                record.version = version
+        with self._lock:
+            for oid, version in versions.items():
+                record = self._replicas.get(oid)
+                if record is not None:
+                    record.version = version
         return versions
 
     def refresh(self, replica: object) -> object:
@@ -281,15 +329,17 @@ class Site:
         counted as pointers rather than followed (every replica is
         already summed once).
         """
-        return sum(
-            _own_state_size(record.obj) for record in self._replicas.values()
-        )
+        with self._lock:
+            return sum(
+                _own_state_size(record.obj) for record in self._replicas.values()
+            )
 
     def evict(self, replica: object) -> None:
         """Drop replication bookkeeping for a replica (memory pressure on
         an info-appliance).  The object itself stays usable as a plain
         local object; it can no longer be put back or refreshed."""
-        self._replicas.pop(obi_id_of(replica), None)
+        with self._lock:
+            self._replicas.pop(obi_id_of(replica), None)
 
     # ------------------------------------------------------------------
     # naming
@@ -347,7 +397,8 @@ class Site:
             return self._masters.pop(oid, None) is not None
 
     def iter_masters(self):
-        return iter(list(self._masters.items()))
+        with self._lock:
+            return iter(list(self._masters.items()))
 
     def retract_provider(self, oid: str) -> bool:
         """Withdraw an object's proxy-in (distributed-GC reclamation).
@@ -378,29 +429,35 @@ class Site:
 
     def version_of(self, obj: object) -> int:
         oid = obi_id_of(obj)
-        master = self._masters.get(oid)
-        if master is not None:
-            return master.version
-        replica = self._replicas.get(oid)
-        if replica is not None:
-            return replica.version
+        with self._lock:
+            master = self._masters.get(oid)
+            if master is not None:
+                return master.version
+            replica = self._replicas.get(oid)
+            if replica is not None:
+                return replica.version
         return 1
 
     def is_master(self, oid: str) -> bool:
-        return oid in self._masters
+        with self._lock:
+            return oid in self._masters
 
     def is_replica(self, oid: str) -> bool:
-        return oid in self._replicas
+        with self._lock:
+            return oid in self._replicas
 
     def has_exported(self, oid: str) -> bool:
-        return oid in self._provider_refs
+        with self._lock:
+            return oid in self._provider_refs
 
     def master_object_for(self, oid: str) -> object | None:
-        record = self._masters.get(oid)
+        with self._lock:
+            record = self._masters.get(oid)
         return record.obj if record is not None else None
 
     def master_version(self, master: object) -> int:
-        record = self._masters.get(obi_id_of(master))
+        with self._lock:
+            record = self._masters.get(obi_id_of(master))
         if record is None:
             raise ReplicationError(f"object is not mastered at site {self.name!r}")
         return record.version
@@ -417,12 +474,13 @@ class Site:
 
     def local_object_for(self, oid: str) -> object | None:
         """The master or replica with this identity, if present here."""
-        master = self._masters.get(oid)
-        if master is not None:
-            return master.obj
-        replica = self._replicas.get(oid)
-        if replica is not None:
-            return replica.obj
+        with self._lock:
+            master = self._masters.get(oid)
+            if master is not None:
+                return master.obj
+            replica = self._replicas.get(oid)
+            if replica is not None:
+                return replica.obj
         return None
 
     def local_node_for(self, oid: str) -> object | None:
@@ -433,10 +491,12 @@ class Site:
         return self._pending_proxies.get(oid)
 
     def replica_info(self, oid: str) -> ReplicaRecord | None:
-        return self._replicas.get(oid)
+        with self._lock:
+            return self._replicas.get(oid)
 
     def iter_replicas(self):
-        return iter(list(self._replicas.values()))
+        with self._lock:
+            return iter(list(self._replicas.values()))
 
     def register_replica(self, obj: object, meta: ObjectMeta, mode: ReplicationMode) -> None:
         with self._lock:
@@ -567,7 +627,8 @@ class Site:
     def _replica_record(self, replica: object) -> ReplicaRecord:
         if not is_obiwan(replica):
             raise ReplicationError(f"{type(replica).__name__} is not an OBIWAN object")
-        record = self._replicas.get(obi_id_of(replica))
+        with self._lock:
+            record = self._replicas.get(obi_id_of(replica))
         if record is None:
             raise ReplicationError(
                 f"object {obi_id_of(replica)!r} is not a replica on site {self.name!r}"
@@ -579,10 +640,11 @@ class Site:
         return record
 
     def __repr__(self) -> str:
-        return (
-            f"Site({self.name!r}, masters={len(self._masters)}, "
-            f"replicas={len(self._replicas)})"
-        )
+        with self._lock:
+            return (
+                f"Site({self.name!r}, masters={len(self._masters)}, "
+                f"replicas={len(self._replicas)})"
+            )
 
 
 class World:

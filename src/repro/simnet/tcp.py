@@ -105,10 +105,16 @@ class PoolStats:
             return self.per_pair.setdefault((src, dst), _PairPoolStats())
 
     def record_created(self, src: str, dst: str) -> None:
-        self.pair(src, dst).created += 1
+        # The bump must happen under the same lock that guards the table:
+        # incrementing the pair returned by ``pair()`` would race once the
+        # lock is released (+= is a read-modify-write).  ``pair()`` cannot
+        # be reused here — the lock is not reentrant.
+        with self._lock:
+            self.per_pair.setdefault((src, dst), _PairPoolStats()).created += 1
 
     def record_reused(self, src: str, dst: str) -> None:
-        self.pair(src, dst).reused += 1
+        with self._lock:
+            self.per_pair.setdefault((src, dst), _PairPoolStats()).reused += 1
 
     @property
     def total_created(self) -> int:

@@ -32,6 +32,28 @@ def lint(tmp_path):
 
 
 @pytest.fixture
+def flow_project(tmp_path):
+    """Build a :class:`repro.analysis.flow.Project` from named snippets.
+
+    ``flow_project(runtime="...", faults="...")`` writes one module per
+    keyword and returns the Project over them, for unit tests that poke
+    the symbol table / call graph / analyses directly.
+    """
+    from repro.analysis.engine import ModuleSource
+    from repro.analysis.flow import Project
+
+    def build(**sources):
+        modules = []
+        for name, source in sources.items():
+            path = tmp_path / f"{name}.py"
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+            modules.append(ModuleSource.parse(path, display_path=f"{name}.py"))
+        return Project(modules)
+
+    return build
+
+
+@pytest.fixture
 def lint_report(tmp_path):
     """Like ``lint`` but returns the whole :class:`AnalysisReport`."""
 

@@ -1,0 +1,28 @@
+"""Seeded defect: two locks taken in opposite orders (OBI201).
+
+``transfer`` takes the table lock then the journal lock; ``checkpoint``
+takes them the other way around.  Two threads, one in each, deadlock.
+"""
+
+import threading
+
+
+class ReplicaLedger:
+    def __init__(self):
+        self._table_lock = threading.Lock()
+        self._journal_lock = threading.Lock()
+        self._table = {}
+        self._journal = []
+
+    def transfer(self, oid, version):
+        with self._table_lock:
+            self._table[oid] = version
+            with self._journal_lock:
+                self._journal.append((oid, version))
+
+    def checkpoint(self):
+        with self._journal_lock:
+            entries = list(self._journal)
+            with self._table_lock:
+                for oid, version in entries:
+                    self._table.setdefault(oid, version)

@@ -1,0 +1,28 @@
+"""Seeded defect: a lock-owned table accessed without the lock (OBI203).
+
+``store`` and ``invalidate`` maintain ``_entries`` under ``_lock``;
+``evict`` pops and ``lookup`` reads with no lock at all — the same shape
+as the ``Site.evict`` defect this rule was grown from.
+"""
+
+import threading
+
+
+class ReplicaCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def store(self, oid, replica):
+        with self._lock:
+            self._entries[oid] = replica
+
+    def invalidate(self, oid):
+        with self._lock:
+            self._entries.pop(oid, None)
+
+    def evict(self, oid):
+        self._entries.pop(oid, None)
+
+    def lookup(self, oid):
+        return self._entries.get(oid)

@@ -1,0 +1,16 @@
+"""Seeded defect: a component that writes back replicas it never
+acquired (OBI204).
+
+``BlindWriter`` issues the protocol's ``put`` but no ``get`` or
+``demand`` is reachable from any of its methods — nothing here ever
+obtained the replica whose state it pushes.
+"""
+
+
+class BlindWriter:
+    def __init__(self, endpoint, provider):
+        self.endpoint = endpoint
+        self.provider = provider
+
+    def push(self, package):
+        return self.endpoint.invoke(self.provider, "put", (package,))

@@ -1,0 +1,9 @@
+"""Seeded defect: a ``demand`` issued outside the fault path (OBI205).
+
+This module is not the fault resolver, so its demand bypasses fault
+coalescing, sibling batching, and the fault-path statistics.
+"""
+
+
+def eager_fetch(site, proxy):
+    return site.endpoint.invoke(proxy._obi_provider, "demand", (proxy._obi_mode,))

@@ -1,0 +1,24 @@
+"""Seeded defect: the replica escapes before splice completes (OBI206).
+
+``resolve`` publishes the replica into an attribute before
+``splice`` has rewritten the demanders — a reader of ``last_resolved``
+can observe a replica whose aliases still point at the proxy.
+"""
+
+
+def splice(proxy, replica):
+    for holder in proxy.demanders:
+        holder.replace(proxy, replica)
+    proxy.resolved = replica
+
+
+class FaultHandler:
+    def __init__(self, site):
+        self.site = site
+        self.last_resolved = None
+
+    def resolve(self, proxy, package):
+        local = self.site.integrate(package)
+        self.last_resolved = local
+        splice(proxy, local)
+        return local

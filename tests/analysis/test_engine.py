@@ -149,9 +149,9 @@ class TestEngine:
 
 
 class TestCatalog:
-    def test_eight_rules_shipped(self):
-        assert len(ALL_RULES) == 8
-        assert len({rule.id for rule in ALL_RULES}) == 8
+    def test_fourteen_rules_shipped(self):
+        assert len(ALL_RULES) == 14
+        assert len({rule.id for rule in ALL_RULES}) == 14
 
     def test_ids_and_names_stable(self):
         catalog = {rule.id: rule.name for rule in ALL_RULES}
@@ -164,6 +164,12 @@ class TestCatalog:
             "OBI106": "mutable-class-default",
             "OBI107": "swallowed-exception",
             "OBI108": "nondeterministic-clock",
+            "OBI201": "lock-order-cycle",
+            "OBI202": "blocking-under-lock",
+            "OBI203": "unguarded-state",
+            "OBI204": "put-without-source",
+            "OBI205": "demand-outside-fault-path",
+            "OBI206": "splice-escape",
         }
 
     def test_every_rule_documented(self):

@@ -1,0 +1,63 @@
+"""Every seeded-defect fixture under fixtures/flow/ is caught by its rule.
+
+The fixture files are the flow layer's regression corpus: each one holds
+exactly the defect its OBI2xx rule exists for, so a refactor that stops
+detecting one fails here first.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures" / "flow"
+
+CASES = [
+    ("obi201_lock_cycle.py", "OBI201"),
+    ("obi202_blocking_under_lock.py", "OBI202"),
+    ("obi203_unguarded_state.py", "OBI203"),
+    ("obi204_put_without_source.py", "OBI204"),
+    ("obi205_demand_outside_fault.py", "OBI205"),
+    ("obi206_splice_escape.py", "OBI206"),
+]
+
+
+@pytest.mark.parametrize(("fixture", "rule"), CASES)
+def test_fixture_detected_by_its_rule(fixture, rule):
+    report = analyze_paths([FIXTURES / fixture], select={rule})
+    rules_hit = {finding.rule for finding in report.all_findings()}
+    assert rule in rules_hit, f"{fixture} not detected by {rule}"
+
+
+def test_every_flow_rule_has_a_fixture():
+    from repro.analysis.rules import build_rules
+
+    flow_ids = {rule.id for rule in build_rules() if rule.id.startswith("OBI2")}
+    assert flow_ids == {rule for _fixture, rule in CASES}
+
+
+def test_obi203_fixture_flags_both_evict_and_lookup():
+    report = analyze_paths([FIXTURES / "obi203_unguarded_state.py"], select={"OBI203"})
+    messages = [finding.message for finding in report.all_findings()]
+    assert any("evict" in message for message in messages)
+    assert any("lookup" in message for message in messages)
+
+
+def test_fixtures_stay_suppressible():
+    """A justified suppression silences a flow finding like any other."""
+    source = (FIXTURES / "obi205_demand_outside_fault.py").read_text(encoding="utf-8")
+    patched = source.replace(
+        "(proxy._obi_mode,))",
+        "(proxy._obi_mode,))  # obilint: disable=OBI205 -- test fixture",
+    )
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "suppressed_demand.py"
+        path.write_text(patched, encoding="utf-8")
+        report = analyze_paths([path], select={"OBI205"})
+        assert not report.findings
+        assert any(f.rule == "OBI205" for f in report.suppressed)

@@ -114,6 +114,70 @@ class TestNondeterministicClock:
         )
         assert len(findings) == 1
 
+    def test_monotonic_flagged(self, lint):
+        findings = lint(
+            """
+            import time
+
+            def elapsed(start):
+                return time.monotonic() - start
+            """,
+            rule="OBI108",
+        )
+        assert len(findings) == 1
+        assert "time.monotonic" in findings[0].message
+
+    def test_perf_counter_flagged(self, lint):
+        findings = lint(
+            """
+            import time
+
+            def bench():
+                return time.perf_counter()
+            """,
+            rule="OBI108",
+        )
+        assert len(findings) == 1
+        assert "time.perf_counter" in findings[0].message
+
+    def test_system_random_flagged(self, lint):
+        findings = lint(
+            """
+            import random
+
+            def entropy():
+                return random.SystemRandom().random()
+            """,
+            rule="OBI108",
+        )
+        assert len(findings) == 1
+        assert "SystemRandom" in findings[0].message
+
+    def test_system_random_via_from_import_flagged(self, lint):
+        findings = lint(
+            """
+            from random import SystemRandom
+
+            def entropy():
+                return SystemRandom().random()
+            """,
+            rule="OBI108",
+        )
+        assert len(findings) == 1
+
+    def test_seeded_system_random_still_flagged(self, lint):
+        """SystemRandom ignores its seed argument — never replayable."""
+        findings = lint(
+            """
+            import random
+
+            def entropy():
+                return random.SystemRandom(42).random()
+            """,
+            rule="OBI108",
+        )
+        assert len(findings) == 1
+
     def test_global_random_flagged(self, lint):
         findings = lint(
             """
