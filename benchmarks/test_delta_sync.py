@@ -1,0 +1,69 @@
+"""PR-4 bench smoke: delta-encoded replica synchronization.
+
+Asserts the headline acceptance claim — the 1%-mutation put/refresh
+workload moves at least 5x fewer bytes and finishes measurably faster
+with ``delta_sync`` on, with zero correctness drift (post-sync
+fingerprints identical on both paths) — and records ``BENCH_pr4.json``
+at the repo root when ``OBIWAN_BENCH_RECORD`` is set (the CI bench-smoke
+job does).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.bench.delta_sync import delta_sync_report
+
+
+def test_delta_sync_smoke(once):
+    report = once(delta_sync_report)
+    baseline = report["baseline"]
+    delta = report["delta"]
+
+    # Both paths converge exactly: run_sync raises on any fingerprint
+    # drift, so reaching these flags means master == replica everywhere.
+    assert baseline["fingerprints_match"]
+    assert delta["fingerprints_match"]
+
+    # The baseline never takes a delta path; the delta run never falls
+    # back to full state on this single-writer workload.
+    assert baseline["puts_delta"] == 0
+    assert baseline["refreshes_delta"] == 0
+    assert delta["puts_full"] == 0
+    assert delta["refreshes_full"] == 0
+    assert delta["need_full_downgrades"] == 0
+
+    # Dirty tracking splits the working-set puts: every record that
+    # mutated since its last sync ships a delta, the clean ones are
+    # no-ops that never touch the network.
+    assert delta["puts_delta"] > 0
+    assert delta["puts_noop"] > 0
+    assert delta["puts_delta"] + delta["puts_noop"] == baseline["puts_full"]
+    assert delta["refreshes_delta"] == baseline["refreshes_full"]
+    assert delta["messages"] < baseline["messages"]
+    assert delta["delta_bytes_saved"] > 0
+
+    # The acceptance bar: >= 5x fewer bytes on the wire, and faster.
+    assert report["bytes_reduction"] >= 5.0
+    assert delta["wall_clock_ms"] < baseline["wall_clock_ms"]
+
+    print("\nPR-4 delta sync:")
+    print(
+        f"  bytes on wire {baseline['bytes_on_wire']} -> "
+        f"{delta['bytes_on_wire']} ({report['bytes_reduction']:.1f}x)"
+    )
+    print(
+        f"  wall clock    {baseline['wall_clock_ms']:.1f} ms -> "
+        f"{delta['wall_clock_ms']:.1f} ms "
+        f"({report['wall_clock_speedup']:.2f}x)"
+    )
+    print(
+        f"  puts          {delta['puts_delta']} delta + "
+        f"{delta['puts_noop']} no-op (vs {baseline['puts_full']} full), "
+        f"refreshes {delta['refreshes_delta']} delta"
+    )
+
+    if os.environ.get("OBIWAN_BENCH_RECORD"):
+        target = Path(__file__).resolve().parent.parent / "BENCH_pr4.json"
+        target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"  recorded {target}")

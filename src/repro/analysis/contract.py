@@ -30,6 +30,19 @@ RESERVED_CONTROL_METHODS: frozenset[str] = frozenset(
     derive_interface(ProxyIn).methods
 ) | frozenset({"updateMember", "update_member", "setProvider", "setDemander"})
 
+#: RMI verbs of the put family — write-back operations on a proxy-in or
+#: consistency coordinator.  The delta variants (PR 4) are first-class
+#: members, so ``build_put_delta``/``apply_put_delta`` call sites read as
+#: ordinary write-backs to OBI204 instead of unknown traffic.
+PUT_FAMILY_VERBS: frozenset[str] = frozenset(
+    {"put", "put_delta", "try_put", "try_put_delta", "vector_put", "vector_put_delta"}
+)
+
+#: RMI verbs that acquire replica state — the legitimate "source" a
+#: component must reach before it may emit a put-family verb.
+#: ``get_delta`` is the versioned refresh.
+REPLICA_SOURCE_VERBS: frozenset[str] = frozenset({"get", "demand", "get_delta"})
+
 #: Builtin types with a wire tag in :mod:`repro.serial.tags`.  Everything
 #: else crosses the wire only via the type registry.
 WIRE_ENCODABLE_BUILTINS: frozenset[type] = frozenset(

@@ -33,14 +33,16 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 
+from repro.analysis.contract import PUT_FAMILY_VERBS, REPLICA_SOURCE_VERBS
 from repro.analysis.flow.callgraph import CallGraph
 from repro.analysis.flow.symbols import FunctionInfo, SymbolTable
 
 #: RMI entry points whose literal second argument is a protocol verb.
 _INVOKE_METHODS = frozenset({"invoke", "invoke_oneway"})
 
-#: Verbs that acquire replica state.
-SOURCE_VERBS = frozenset({"get", "demand"})
+#: Verbs that acquire replica state (delegated to the contract so the
+#: delta-sync verbs stay in lockstep with the runtime).
+SOURCE_VERBS = REPLICA_SOURCE_VERBS
 
 #: Module stems allowed to issue ``demand`` (the fault path itself).
 FAULT_PATH_MODULES = frozenset({"faults"})
@@ -108,11 +110,11 @@ class ProtocolAnalysis:
     # checks
     # ------------------------------------------------------------------
     def puts_without_source(self) -> list[VerbEvent]:
-        """``put`` emissions whose component never acquires replicas."""
+        """Put-family emissions whose component never acquires replicas."""
         out: list[VerbEvent] = []
         for func in self.symtab.functions:
             for event in self.events[func.key]:
-                if event.verb != "put":
+                if event.verb not in PUT_FAMILY_VERBS:
                     continue
                 scope = self._component_functions(func)
                 verbs: frozenset[str] = frozenset()

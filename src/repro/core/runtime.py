@@ -35,20 +35,35 @@ from repro.core.meta import (
     is_obiwan,
     obi_id_of,
 )
-from repro.core.packages import ObjectMeta
+from repro.core.packages import ObjectMeta, RefreshDeltaReply, RefreshDeltaRequest
 from repro.core.proxy_in import ProxyIn
 from repro.core.proxy_out import ProxyOutBase
-from repro.core.replication import build_put, integrate_package
+from repro.core.replication import (
+    apply_refresh_delta,
+    build_put,
+    build_put_delta,
+    integrate_package,
+)
+from repro.core.telemetry import SyncPathStats
+from repro.core.versions import ChangeLog, DirtyTracker, DirtySnapshot
 from repro.rmi.endpoint import RmiEndpoint
+from repro.rmi.protocol import NeedFull
 from repro.rmi.refs import RemoteRef
 from repro.rmi.stub import Stub
+from repro.serial.delta import Fingerprinter
 from repro.simnet.link import LAN_10MBPS, Link
 from repro.simnet.loopback import LoopbackNetwork
 from repro.simnet.network import Network
 from repro.simnet.tcp import TcpNetwork
 from repro.simnet.threaded import ThreadedNetwork
 from repro.util.clock import Clock, SimClock, WallClock
-from repro.util.errors import ClusterError, ReplicationError
+from repro.util.errors import (
+    ClusterError,
+    ProtocolError,
+    RemoteError,
+    ReplicationError,
+    UnknownReplicaError,
+)
 from repro.util.events import EventBus
 from repro.util.ids import new_site_id
 
@@ -159,6 +174,22 @@ class Site:
         self.costs: CostModel = world.costs
         self.gc_stats = GcStats()
         self.fault_stats = FaultPathStats()
+        self.sync_stats = SyncPathStats()
+        #: Opt-in knob for delta synchronization (PR 4).  When ``True``,
+        #: ``put_back``/``put_back_cluster``/``refresh`` try the versioned
+        #: delta verbs first and fall back to the legacy full-state path on
+        #: ``NEED_FULL`` or an unversioned peer.  Replicas fetched before
+        #: the knob was flipped enroll lazily on their next full sync.
+        self.delta_sync = False
+        #: Deterministic state-digest machine shared by the delta paths.
+        self.fingerprinter = Fingerprinter(endpoint.registry)
+        #: Consumer-side dirty-field bookkeeping for enrolled replicas.
+        self.dirty_tracker = DirtyTracker(self.fingerprinter)
+        #: Master-side history of which fields each version changed.
+        self.change_log = ChangeLog()
+        #: Provider sites that answered a delta verb with a missing-method
+        #: failure (unversioned peers) — probed once, then skipped.
+        self._no_delta_providers: set[str] = set()
         #: Local pub/sub used by the consistency and mobility layers.
         #: Topics: ``replica_registered``, ``replica_refreshed``,
         #: ``put_applied``, ``fault_resolved``.
@@ -254,17 +285,77 @@ class Site:
         return self.endpoint.stub(ref, entry.interface.methods)
 
     def put_back(self, replica: object) -> int:
-        """Push a replica's state onto its master; returns the new version."""
+        """Push a replica's state onto its master; returns the new version.
+
+        With :attr:`delta_sync` on, ships only the dirty fields through
+        ``put_delta`` when possible: a clean replica syncs without any
+        network traffic, and a ``NEED_FULL`` answer (or an unversioned
+        provider) transparently downgrades to the legacy full-state put.
+        """
         cluster_ops.check_individually_updatable(self, replica)
         info = self._replica_record(replica)
+        oid = obi_id_of(replica)
+        snap = self.dirty_tracker.capture(replica) if self.delta_sync else None
+        if snap is not None and snap.clean:
+            self.sync_stats.add(puts_noop=1)
+            return info.version
+        if snap is not None and not snap.whole and self._delta_peer_ok(info.provider):
+            versions = self._try_put_delta(info.provider, [(replica, snap)])
+            if versions is not None:
+                version = versions.get(oid)
+                if version is None:
+                    raise UnknownReplicaError(
+                        f"master returned no version for {oid!r} after delta put"
+                    )
+                info.version = version
+                return version
         package = build_put(self, [replica])
         versions = self.endpoint.invoke(info.provider, "put", (package,))
-        info.version = versions[obi_id_of(replica)]
-        return info.version
+        version = versions.get(oid)
+        if version is None:
+            raise UnknownReplicaError(
+                f"master returned no version for {oid!r} after put"
+            )
+        info.version = version
+        self._rebaseline_after_full_put([replica], [snap])
+        self.sync_stats.add(puts_full=1)
+        return version
 
     def put_back_cluster(self, root: object) -> dict[str, int]:
-        """Push a whole cluster's state through its root's provider."""
+        """Push a whole cluster's state through its root's provider.
+
+        With :attr:`delta_sync` on, only the dirty members' changed
+        fields travel (one ``put_delta`` for the whole cluster), and a
+        fully clean cluster syncs without touching the network.
+        """
         info = self._replica_record(root)
+        members = cluster_ops.cluster_members(self, root)
+        snaps: list[DirtySnapshot | None] = [None] * len(members)
+        if self.delta_sync and self._delta_peer_ok(info.provider):
+            snaps = [self.dirty_tracker.capture(member) for member in members]
+            if all(s is not None and not s.whole for s in snaps):
+                dirty = [
+                    (member, snap)
+                    for member, snap in zip(members, snaps)
+                    if not snap.clean
+                ]
+                if not dirty:
+                    self.sync_stats.add(puts_noop=1)
+                    member_ids = [obi_id_of(member) for member in members]
+                    with self._lock:
+                        return {
+                            oid: self._replicas[oid].version
+                            for oid in member_ids
+                            if oid in self._replicas
+                        }
+                versions = self._try_put_delta(info.provider, dirty)
+                if versions is not None:
+                    with self._lock:
+                        for oid, version in versions.items():
+                            record = self._replicas.get(oid)
+                            if record is not None:
+                                record.version = version
+                    return versions
         package = cluster_ops.build_cluster_put(self, root)
         versions = self.endpoint.invoke(info.provider, "put", (package,))
         with self._lock:
@@ -272,14 +363,40 @@ class Site:
                 record = self._replicas.get(oid)
                 if record is not None:
                     record.version = version
+        self._rebaseline_after_full_put(members, snaps)
+        self.sync_stats.add(puts_full=1)
         return versions
 
     def refresh(self, replica: object) -> object:
-        """Re-fetch a replica's state from its master, updating in place."""
+        """Re-fetch a replica's state from its master, updating in place.
+
+        With :attr:`delta_sync` on and a locally clean replica, asks the
+        master for just the fields changed since the last synchronized
+        version; a locally *dirty* replica always takes the full path,
+        preserving refresh's overwrite-local-changes semantics.
+        """
         cluster_ops.check_individually_updatable(self, replica)
         info = self._replica_record(replica)
+        if self.delta_sync and self._delta_peer_ok(info.provider):
+            snap = self.dirty_tracker.capture(replica)
+            if snap is not None and snap.clean:
+                reply = self._try_get_delta(info.provider, replica, info.version)
+                if reply is not None:
+                    saved = max(0, _own_state_size(replica) - len(reply.payload))
+                    if apply_refresh_delta(self, replica, reply):
+                        info.version = reply.version
+                        self.dirty_tracker.enroll(replica)
+                        self.sync_stats.add(refreshes_delta=1, delta_bytes_saved=saved)
+                        self.events.publish(
+                            "replica_refreshed", site=self, replica=replica
+                        )
+                        return replica
+                    # Merged state diverged from the master's fingerprint:
+                    # the full refresh below overwrites the partial merge.
+                    self.sync_stats.add(need_full_downgrades=1)
         package = self.endpoint.invoke(info.provider, "get", (Incremental(1),))
         refreshed = integrate_package(self, package)
+        self.sync_stats.add(refreshes_full=1)
         self.events.publish("replica_refreshed", site=self, replica=refreshed)
         return refreshed
 
@@ -305,7 +422,7 @@ class Site:
         self.clock.advance(self.costs.local_invoke_s)
         return getattr(obj, method)(*args, **kwargs)
 
-    def touch(self, master: object) -> int:
+    def touch(self, master: object, *, fields: "tuple[str, ...] | None" = None) -> int:
         """Announce a direct local modification of a master object.
 
         Masters are plain objects, so the middleware cannot observe the
@@ -313,8 +430,18 @@ class Site:
         (refresh, leases, reconciliation, transactions) only sees changes
         that arrive via ``put`` — or that the master application declares
         with ``touch``.  Returns the new version.
+
+        Passing ``fields`` names what changed, letting delta refreshes
+        serve this version from the change log; without it, the version
+        records a whole-state change and consumers spanning it re-fetch
+        full state (``NEED_FULL``).
         """
-        return self.bump_master_version(obi_id_of(master))
+        oid = obi_id_of(master)
+        version = self.bump_master_version(oid)
+        self.change_log.record(
+            oid, version, frozenset(fields) if fields is not None else None
+        )
+        return version
 
     def memory_footprint(self) -> int:
         """Approximate bytes of replica state held at this site.
@@ -340,6 +467,7 @@ class Site:
         local object; it can no longer be put back or refreshed."""
         with self._lock:
             self._replicas.pop(obi_id_of(replica), None)
+        self.dirty_tracker.forget(replica)
 
     # ------------------------------------------------------------------
     # naming
@@ -394,7 +522,9 @@ class Site:
         """
         with self._lock:
             self.retract_provider(oid)
-            return self._masters.pop(oid, None) is not None
+            dropped = self._masters.pop(oid, None) is not None
+        self.change_log.drop(oid)
+        return dropped
 
     def iter_masters(self):
         with self._lock:
@@ -501,6 +631,10 @@ class Site:
     def register_replica(self, obj: object, meta: ObjectMeta, mode: ReplicationMode) -> None:
         with self._lock:
             self._register_replica_locked(obj, meta, mode)
+        if self.delta_sync:
+            # The replica is in a just-synced state right now: enroll it
+            # (or re-baseline an existing enrollment after a refresh).
+            self.dirty_tracker.enroll(obj)
 
     def _register_replica_locked(self, obj: object, meta: ObjectMeta, mode: ReplicationMode) -> None:
         oid = meta.obi_id
@@ -622,6 +756,98 @@ class Site:
             self.clock.advance(count * self.costs.replica_create_s)
 
     # ------------------------------------------------------------------
+    # delta-sync plumbing (PR 4)
+    # ------------------------------------------------------------------
+    def _delta_peer_ok(self, provider: RemoteRef | None) -> bool:
+        """True unless this provider's site already failed a delta probe."""
+        if provider is None:
+            return False
+        with self._lock:
+            return provider.site_id not in self._no_delta_providers
+
+    def _note_no_delta(self, provider: RemoteRef) -> None:
+        """Remember that ``provider``'s site lacks the delta verbs."""
+        with self._lock:
+            self._no_delta_providers.add(provider.site_id)
+
+    def _try_put_delta(
+        self, provider: RemoteRef, items: "list[tuple[object, DirtySnapshot]]"
+    ) -> dict[str, int] | None:
+        """One delta put attempt; ``None`` means "use the full path".
+
+        Handles the two downgrade shapes: an unversioned peer (missing
+        ``put_delta`` → remembered in :attr:`_no_delta_providers`) and a
+        ``NEED_FULL`` answer (version/fingerprint mismatch at the
+        master).  On success, commits every snapshot so the dirty sets
+        re-baseline, and credits the bytes the full path would have
+        shipped.
+        """
+        package = build_put_delta(
+            self, [(replica, snap.fields) for replica, snap in items]
+        )
+        try:
+            result = self.endpoint.invoke(provider, "put_delta", (package,))
+        except (ProtocolError, RemoteError) as exc:
+            if not _delta_unsupported(exc):
+                raise
+            self._note_no_delta(provider)
+            return None
+        if isinstance(result, NeedFull):
+            self.sync_stats.add(need_full_downgrades=1)
+            return None
+        if not isinstance(result, dict):
+            raise ReplicationError(f"unexpected put_delta reply: {result!r}")
+        saved = 0
+        for replica, snap in items:
+            saved += self._delta_savings(replica, snap.fields)
+            self.dirty_tracker.commit(replica, snap)
+        self.sync_stats.add(puts_delta=1, delta_bytes_saved=saved)
+        return result
+
+    def _try_get_delta(
+        self, provider: RemoteRef, replica: object, base_version: int
+    ) -> "RefreshDeltaReply | None":
+        """One delta refresh attempt; ``None`` means "use the full path"."""
+        request = RefreshDeltaRequest(
+            obi_id=obi_id_of(replica), base_version=base_version
+        )
+        try:
+            reply = self.endpoint.invoke(provider, "get_delta", (request,))
+        except (ProtocolError, RemoteError) as exc:
+            if not _delta_unsupported(exc):
+                raise
+            self._note_no_delta(provider)
+            return None
+        if isinstance(reply, NeedFull):
+            self.sync_stats.add(need_full_downgrades=1)
+            return None
+        if not isinstance(reply, RefreshDeltaReply):
+            raise ReplicationError(f"unexpected get_delta reply: {reply!r}")
+        return reply
+
+    def _rebaseline_after_full_put(
+        self, replicas: "list[object]", snaps: "list[DirtySnapshot | None]"
+    ) -> None:
+        """After a successful full put, the replicas are synced: commit
+        captured snapshots (no-op if the object mutated mid-put) and
+        enroll anything the tracker had not seen yet."""
+        if not self.delta_sync:
+            return
+        for replica, snap in zip(replicas, snaps):
+            if snap is not None:
+                self.dirty_tracker.commit(replica, snap)
+            else:
+                self.dirty_tracker.enroll(replica)
+
+    def _delta_savings(self, replica: object, fields: "frozenset[str]") -> int:
+        """Estimated bytes a delta put avoided versus shipping full state."""
+        state = vars(replica)
+        delta_bytes = sum(
+            _value_size(state[name]) for name in fields if name in state
+        )
+        return max(0, _own_state_size(replica) - delta_bytes)
+
+    # ------------------------------------------------------------------
     # introspection helpers used by the engine's put path
     # ------------------------------------------------------------------
     def _replica_record(self, replica: object) -> ReplicaRecord:
@@ -721,6 +947,22 @@ class World:
 
     def __repr__(self) -> str:
         return f"World({type(self.network).__name__}, sites={sorted(self.sites)})"
+
+
+def _delta_unsupported(exc: BaseException) -> bool:
+    """True when a delta-verb failure means "this peer predates delta sync".
+
+    An unversioned peer's skeleton reports the missing verb as a
+    :class:`ProtocolError` ("has no method"); a peer whose handler probes
+    attributes may flatten an ``AttributeError`` into a
+    :class:`RemoteError` instead.  Anything else is a genuine failure and
+    must propagate.
+    """
+    if isinstance(exc, ProtocolError):
+        return "has no method" in str(exc)
+    if isinstance(exc, RemoteError):
+        return exc.remote_type == "AttributeError"
+    return False
 
 
 def _own_state_size(obj: object) -> int:

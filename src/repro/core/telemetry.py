@@ -9,11 +9,99 @@ traffic it has generated and where the simulated time went.  A
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.runtime import Site
+
+
+@dataclass
+class SyncPathStats:
+    """Counters for the delta synchronization path (PR 4).
+
+    Application threads and dispatcher threads both sync replicas, so
+    increments go through :meth:`add` under the internal lock, exactly
+    like ``FaultPathStats`` — a bare ``+= 1`` loses counts across a
+    read-modify-write.  Reading individual attributes is fine for
+    monitoring; :meth:`snapshot` gives a mutually-consistent reading.
+    """
+
+    #: Write-backs that shipped only changed fields.
+    puts_delta: int = 0
+    #: Write-backs that shipped full state (delta off, unsupported peer,
+    #: whole-object fallback, or a ``NEED_FULL`` downgrade retry).
+    puts_full: int = 0
+    #: Write-backs skipped entirely because the replica was clean.
+    puts_noop: int = 0
+    #: Refreshes served from the master's change log as field deltas.
+    refreshes_delta: int = 0
+    #: Refreshes that re-fetched full state.
+    refreshes_full: int = 0
+    #: Estimated full-state bytes that delta syncs avoided shipping.
+    delta_bytes_saved: int = 0
+    #: Delta attempts the peer answered with ``NEED_FULL`` (or whose
+    #: merged state failed the fingerprint check locally).
+    need_full_downgrades: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add(
+        self,
+        *,
+        puts_delta: int = 0,
+        puts_full: int = 0,
+        puts_noop: int = 0,
+        refreshes_delta: int = 0,
+        refreshes_full: int = 0,
+        delta_bytes_saved: int = 0,
+        need_full_downgrades: int = 0,
+    ) -> None:
+        """Atomically bump any subset of the counters."""
+        with self._lock:
+            self.puts_delta += puts_delta
+            self.puts_full += puts_full
+            self.puts_noop += puts_noop
+            self.refreshes_delta += refreshes_delta
+            self.refreshes_full += refreshes_full
+            self.delta_bytes_saved += delta_bytes_saved
+            self.need_full_downgrades += need_full_downgrades
+
+    def snapshot(self) -> dict[str, int]:
+        """A mutually-consistent reading of all counters."""
+        with self._lock:
+            return {
+                "puts_delta": self.puts_delta,
+                "puts_full": self.puts_full,
+                "puts_noop": self.puts_noop,
+                "refreshes_delta": self.refreshes_delta,
+                "refreshes_full": self.refreshes_full,
+                "delta_bytes_saved": self.delta_bytes_saved,
+                "need_full_downgrades": self.need_full_downgrades,
+            }
+
+    def reset(self) -> dict[str, int]:
+        """Zero the counters; returns the values they had."""
+        with self._lock:
+            before = {
+                "puts_delta": self.puts_delta,
+                "puts_full": self.puts_full,
+                "puts_noop": self.puts_noop,
+                "refreshes_delta": self.refreshes_delta,
+                "refreshes_full": self.refreshes_full,
+                "delta_bytes_saved": self.delta_bytes_saved,
+                "need_full_downgrades": self.need_full_downgrades,
+            }
+            self.puts_delta = 0
+            self.puts_full = 0
+            self.puts_noop = 0
+            self.refreshes_delta = 0
+            self.refreshes_full = 0
+            self.delta_bytes_saved = 0
+            self.need_full_downgrades = 0
+        return before
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,6 +130,14 @@ class TelemetrySnapshot:
     #: Pooled-TCP reuse attributed to this site as caller; 0 on transports
     #: without a connection pool.
     connections_reused: int
+    #: Delta-sync counters (see :class:`SyncPathStats`).
+    puts_delta: int
+    puts_full: int
+    puts_noop: int
+    refreshes_delta: int
+    refreshes_full: int
+    delta_bytes_saved: int
+    need_full_downgrades: int
 
     def render(self) -> str:
         return (
@@ -57,6 +153,11 @@ class TelemetrySnapshot:
             f"{self.prefetch_hits} prefetch hits, "
             f"{self.coalesced_faults} coalesced faults, "
             f"{self.connections_reused} connections reused\n"
+            f"  deltasync: {self.puts_delta} delta / {self.puts_full} full / "
+            f"{self.puts_noop} no-op puts, "
+            f"{self.refreshes_delta} delta / {self.refreshes_full} full refreshes, "
+            f"{self.need_full_downgrades} NEED_FULL downgrades, "
+            f"~{self.delta_bytes_saved} B saved\n"
             f"  traffic : sent {self.messages_sent} msgs / {self.bytes_sent} B, "
             f"received {self.messages_received} msgs / {self.bytes_received} B"
         )
@@ -80,6 +181,7 @@ def snapshot(site: "Site") -> TelemetrySnapshot:
     connections_reused = (
         pool_stats.reused_from(site.name) if pool_stats is not None else 0
     )
+    sync = site.sync_stats.snapshot()
 
     return TelemetrySnapshot(
         site=site.name,
@@ -101,4 +203,11 @@ def snapshot(site: "Site") -> TelemetrySnapshot:
         prefetch_hits=site.fault_stats.prefetch_hits,
         coalesced_faults=site.fault_stats.coalesced_faults,
         connections_reused=connections_reused,
+        puts_delta=sync["puts_delta"],
+        puts_full=sync["puts_full"],
+        puts_noop=sync["puts_noop"],
+        refreshes_delta=sync["refreshes_delta"],
+        refreshes_full=sync["refreshes_full"],
+        delta_bytes_saved=sync["delta_bytes_saved"],
+        need_full_downgrades=sync["need_full_downgrades"],
     )

@@ -125,6 +125,27 @@ class InvokeBatchResponse:
         self.results = state  # type: ignore[assignment]
 
 
+@dataclass(slots=True)
+class NeedFull:
+    """Control reply: a delta-encoded request cannot be applied here.
+
+    Returned (not raised) by the delta put/refresh verbs when the
+    receiver must see full state — base version mismatch, fingerprint
+    divergence, or missing delta history.  Travelling as an ordinary
+    return value keeps the downgrade on the normal success path: the
+    consumer reissues the legacy full-state operation and both sides
+    converge.
+    """
+
+    reason: str = ""
+
+    def __getstate__(self) -> object:
+        return self.reason
+
+    def __setstate__(self, state: object) -> None:
+        self.reason = state  # type: ignore[assignment]
+
+
 #: Middleware exception types that cross the wire losslessly.
 _WELL_KNOWN: dict[str, type[BaseException]] = {
     name: obj
@@ -141,5 +162,6 @@ for _protocol_cls, _wire_name in (
     (InvokeFailure, "rmi.InvokeFailure"),
     (InvokeBatchRequest, "rmi.InvokeBatchRequest"),
     (InvokeBatchResponse, "rmi.InvokeBatchResponse"),
+    (NeedFull, "rmi.NeedFull"),
 ):
     global_registry.register(_protocol_cls, name=_wire_name)

@@ -1,0 +1,127 @@
+"""Field-level delta codec and deterministic state fingerprints.
+
+The delta synchronization engine (PR 4) ships only the *changed* fields
+of a replica instead of its whole state.  This module provides the two
+primitives that make that safe:
+
+* :class:`FieldDelta` + :func:`encode_field_delta` /
+  :func:`decode_field_delta` — one object's changed attributes as a
+  single wire frame.  The payload is an ordinary encoder frame, so
+  shared subobjects *within one delta* keep their aliasing (memo-safe),
+  and the replication layer's swizzler applies to references exactly as
+  it does on the full-state path.
+* :class:`Fingerprinter` — a deterministic digest of an object's own
+  state.  References to other OBIWAN nodes (objects and proxy-outs)
+  hash as their *logical identity*, not their state, so a master and a
+  faithful replica produce the same fingerprint even though one holds
+  direct references and the other holds proxy-outs.  The put/refresh
+  delta protocol compares fingerprints before and after every merge:
+  any divergence forces the legacy full-state path instead of silently
+  corrupting a replica.
+
+Layering note: this module sits above the raw encoder (it understands
+OBIWAN node identity) but below :mod:`repro.core.replication`; it is
+deliberately *not* re-exported from ``repro.serial.__init__`` to keep
+``repro.core.interfaces → repro.serial.registry`` import-cycle-free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.core.meta import is_obiwan, obi_id_of
+from repro.core.proxy_out import ProxyOutBase
+from repro.serial.encoder import Encoder
+from repro.serial.registry import TypeRegistry
+from repro.serial.swizzle import SwizzleDescriptor
+from repro.util.errors import SerializationError
+
+#: Swizzle kind used inside fingerprint frames: a node's logical identity.
+FP_REF_KIND = "obiwan.fp-ref"
+
+#: Immutable builtin scalars — values that can only change by rebinding
+#: the attribute, which the instrumented ``__setattr__`` always observes.
+IMMUTABLE_SCALARS = (type(None), bool, int, float, str, bytes)
+
+
+@dataclass(slots=True)
+class FieldDelta:
+    """One object's changed attributes, ready to encode.
+
+    ``fields`` maps attribute name → current value; ``base_version`` is
+    the master version the sender last synchronized at (the receiver
+    merges only on an exact match).
+    """
+
+    obi_id: str = ""
+    base_version: int = 0
+    fields: dict[str, object] = field(default_factory=dict)
+
+
+def encode_field_delta(encoder: Encoder, delta: FieldDelta) -> bytes:
+    """Encode a delta's field map as one frame.
+
+    The frame is just the ``fields`` dict — identity and version travel
+    in the package envelope, where the receiver needs them *before*
+    decoding.  One frame per delta means subobjects shared between two
+    changed fields are encoded once and decode back aliased.
+    """
+    return encoder.encode(delta.fields)
+
+
+def decode_field_delta(decoder, payload: bytes) -> dict[str, object]:
+    """Decode a field-delta frame back to its attribute map."""
+    fields = decoder.decode(payload)
+    if not isinstance(fields, dict) or not all(isinstance(k, str) for k in fields):
+        raise SerializationError("field delta must decode to a str-keyed dict")
+    return fields
+
+
+class _FingerprintSwizzler:
+    """Encoder hook that collapses OBIWAN nodes to their logical ids.
+
+    A replica and its master agree on object *identities* but not on
+    representation (one side may hold a proxy-out where the other holds
+    the object).  Hashing identities makes fingerprints comparable
+    across sites; a node's own state divergence is caught by that
+    node's *own* fingerprint.
+    """
+
+    def swizzle(self, value: object) -> SwizzleDescriptor | None:
+        if isinstance(value, ProxyOutBase):
+            return SwizzleDescriptor(FP_REF_KIND, value._obi_target_id)
+        if is_obiwan(value):
+            return SwizzleDescriptor(FP_REF_KIND, obi_id_of(value))
+        return None
+
+    def unswizzle(self, descriptor: SwizzleDescriptor) -> object:  # pragma: no cover
+        raise SerializationError("fingerprint frames are never decoded")
+
+
+class Fingerprinter:
+    """Pooled, deterministic state-digest machine (one per site).
+
+    The underlying :class:`Encoder` is stateless across frames, so a
+    single instance serves every fingerprint a site computes (the PR-2
+    pooling pattern) and is safe under concurrent dispatcher threads.
+    """
+
+    __slots__ = ("_encoder",)
+
+    def __init__(self, registry: TypeRegistry | None = None):
+        self._encoder = Encoder(registry, _FingerprintSwizzler())
+
+    def of_state(self, state: dict[str, object]) -> str:
+        """Digest of a state dict, independent of key insertion order."""
+        frame = self._encoder.encode(sorted(state.items()))
+        return hashlib.blake2b(frame, digest_size=16).hexdigest()
+
+    def of_object(self, obj: object) -> str:
+        """Digest of one object's own state (references by identity)."""
+        return self.of_state(vars(obj))
+
+    def of_value(self, value: object) -> str:
+        """Digest of a single field value — the container-mutation probe."""
+        frame = self._encoder.encode(value)
+        return hashlib.blake2b(frame, digest_size=16).hexdigest()

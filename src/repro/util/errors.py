@@ -70,6 +70,18 @@ class ReplicationError(ObiwanError):
     """The replication engine could not create or refresh a replica."""
 
 
+class UnknownReplicaError(ReplicationError):
+    """A protocol message referenced an object id unknown at this site.
+
+    Raised when a ``put`` (full or delta) targets an object that is not
+    mastered at the receiving site, or when a version map returned by a
+    master omits an object the consumer wrote back.  Subclasses
+    :class:`ReplicationError` so existing handlers keep working; exists as
+    its own type because the condition is usually a deployment bug (stale
+    reference, dropped master) rather than a transient failure.
+    """
+
+
 class ObjectFaultError(ReplicationError):
     """An object fault could not be resolved.
 

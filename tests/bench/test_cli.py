@@ -27,6 +27,7 @@ def test_all_commands_registered():
         "strategy-study",
         "memory-study",
         "fault-batching",
+        "delta-sync",
     }
     assert set(COMMANDS) == expected
 

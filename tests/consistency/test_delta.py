@@ -1,0 +1,119 @@
+"""Consistency protocols over the delta put path (PR 4).
+
+LWW and vector coordinators gained ``try_put_delta``/``vector_put_delta``
+variants: the same arbitration, but timestamps/vectors are stamped only
+when the merge actually applies — a ``NEED_FULL`` answer leaves the
+coordinator's bookkeeping untouched and the consumer retries full-state.
+"""
+
+import pytest
+
+from repro.consistency.lww import LwwCoordinator, LwwReplica
+from repro.consistency.vector import VectorCoordinator, VectorReplica
+from repro.core.meta import obi_id_of
+from repro.core.replication import build_put_delta
+from repro.util.errors import ConsistencyError
+
+
+@pytest.fixture
+def delta_trio(trio):
+    world, master_site, consumer_a, consumer_b, master = trio
+    master_site.delta_sync = True
+    consumer_a.delta_sync = True
+    consumer_b.delta_sync = True
+    return world, master_site, consumer_a, consumer_b, master
+
+
+class TestLwwDelta:
+    def test_write_back_ships_a_delta(self, delta_trio):
+        _world, master_site, consumer_a, _b, master = delta_trio
+        LwwCoordinator.export_on(master_site)
+        protocol = LwwReplica(consumer_a)
+        replica = consumer_a.replicate("counter")
+        replica.increment(3)
+        protocol.write_back(replica)
+        assert master.read() == 3
+        assert consumer_a.sync_stats.puts_delta == 1
+        assert consumer_a.sync_stats.puts_full == 0
+
+    def test_clean_replica_write_back_takes_full_path(self, delta_trio):
+        _world, master_site, consumer_a, _b, master = delta_trio
+        LwwCoordinator.export_on(master_site)
+        protocol = LwwReplica(consumer_a)
+        replica = consumer_a.replicate("counter")
+        protocol.write_back(replica)  # nothing dirty: full put, still correct
+        assert consumer_a.sync_stats.puts_full == 1
+        assert master.read() == 0
+
+    def test_need_full_downgrade_then_lww_still_arbitrates(self, delta_trio):
+        _world, master_site, consumer_a, _b, master = delta_trio
+        LwwCoordinator.export_on(master_site)
+        protocol = LwwReplica(consumer_a)
+        replica = consumer_a.replicate("counter")
+        master_site.touch(master)  # master version moves: delta put cannot merge
+        replica.increment(5)
+        protocol.write_back(replica)
+        assert master.read() == 5
+        assert consumer_a.sync_stats.need_full_downgrades == 1
+        assert consumer_a.sync_stats.puts_full == 1
+
+    def test_stale_delta_write_rejected_before_any_merge(self, delta_trio):
+        _world, master_site, consumer_a, consumer_b, master = delta_trio
+        coordinator = LwwCoordinator.export_on(master_site)
+        protocol_b = LwwReplica(consumer_b)
+        replica_a = consumer_a.replicate("counter")
+        replica_b = consumer_b.replicate("counter")
+        replica_b.increment(10)
+        protocol_b.write_back(replica_b)
+        stamped = coordinator.last_write_at(obi_id_of(master))
+        # A delta put carrying a tie timestamp is a genuine concurrent
+        # write: rejected before any merge, register untouched.
+        replica_a.increment(1)
+        snap = consumer_a.dirty_tracker.capture(replica_a)
+        package = build_put_delta(consumer_a, [(replica_a, snap.fields)])
+        with pytest.raises(ConsistencyError, match="newer state"):
+            coordinator.try_put_delta(package, stamped)
+        assert master.read() == 10
+        assert coordinator.last_write_at(obi_id_of(master)) == stamped
+
+
+class TestVectorDelta:
+    def test_write_back_ships_a_delta_and_bumps_the_vector(self, delta_trio):
+        _world, master_site, consumer_a, _b, master = delta_trio
+        coordinator = VectorCoordinator.export_on(master_site)
+        protocol = VectorReplica(consumer_a)
+        replica = protocol.track(consumer_a.replicate("counter"))
+        replica.increment(4)
+        protocol.write_back(replica)
+        assert master.read() == 4
+        assert consumer_a.sync_stats.puts_delta == 1
+        vector = coordinator.vector_of(obi_id_of(master))
+        assert vector.counters.get("A") == 1
+
+    def test_concurrent_delta_writes_conflict_without_merging(self, delta_trio):
+        _world, master_site, consumer_a, consumer_b, master = delta_trio
+        coordinator = VectorCoordinator.export_on(master_site)
+        protocol_a = VectorReplica(consumer_a)
+        protocol_b = VectorReplica(consumer_b)
+        replica_a = protocol_a.track(consumer_a.replicate("counter"))
+        replica_b = protocol_b.track(consumer_b.replicate("counter"))
+        replica_b.increment(10)
+        protocol_b.write_back(replica_b)
+        replica_a.increment(1)  # concurrent with B's write
+        vector_before = coordinator.vector_of(obi_id_of(master))
+        with pytest.raises(ConsistencyError, match="concurrent update"):
+            protocol_a.write_back(replica_a)
+        assert master.read() == 10
+        assert coordinator.vector_of(obi_id_of(master)) == vector_before
+
+    def test_need_full_downgrade_stamps_the_vector_once(self, delta_trio):
+        _world, master_site, consumer_a, _b, master = delta_trio
+        coordinator = VectorCoordinator.export_on(master_site)
+        protocol = VectorReplica(consumer_a)
+        replica = protocol.track(consumer_a.replicate("counter"))
+        master_site.touch(master)  # core version moves: delta cannot merge
+        replica.increment(2)
+        protocol.write_back(replica)
+        assert master.read() == 2
+        assert consumer_a.sync_stats.need_full_downgrades == 1
+        assert coordinator.vector_of(obi_id_of(master)).counters.get("A") == 1

@@ -1,0 +1,84 @@
+"""Field-delta codec and fingerprint tests (PR 4)."""
+
+import pytest
+
+from repro.core.meta import obi_id_of
+from repro.serial.decoder import Decoder
+from repro.serial.delta import (
+    FieldDelta,
+    Fingerprinter,
+    decode_field_delta,
+    encode_field_delta,
+)
+from repro.serial.encoder import Encoder
+from repro.serial.registry import global_registry
+from repro.util.errors import SerializationError
+from tests.models import Box
+
+
+@pytest.fixture
+def codec():
+    return Encoder(global_registry), Decoder(global_registry)
+
+
+class TestFieldDeltaCodec:
+    def test_roundtrip(self, codec):
+        encoder, decoder = codec
+        delta = FieldDelta(
+            obi_id="x", base_version=3, fields={"index": 7, "payload": b"\x01\x02"}
+        )
+        payload = encode_field_delta(encoder, delta)
+        assert decode_field_delta(decoder, payload) == {
+            "index": 7,
+            "payload": b"\x01\x02",
+        }
+
+    def test_shared_subobjects_stay_aliased(self, codec):
+        encoder, decoder = codec
+        shared = [1, 2, 3]
+        payload = encode_field_delta(
+            encoder, FieldDelta(fields={"a": shared, "b": shared})
+        )
+        fields = decode_field_delta(decoder, payload)
+        assert fields["a"] is fields["b"]
+
+    def test_non_dict_frame_rejected(self, codec):
+        encoder, decoder = codec
+        with pytest.raises(SerializationError, match="str-keyed dict"):
+            decode_field_delta(decoder, encoder.encode([1, 2, 3]))
+
+    def test_non_str_keys_rejected(self, codec):
+        encoder, decoder = codec
+        with pytest.raises(SerializationError, match="str-keyed dict"):
+            decode_field_delta(decoder, encoder.encode({1: "a"}))
+
+
+class TestFingerprinter:
+    @pytest.fixture
+    def fp(self):
+        return Fingerprinter(global_registry)
+
+    def test_deterministic_and_order_independent(self, fp):
+        assert fp.of_state({"a": 1, "b": 2}) == fp.of_state({"b": 2, "a": 1})
+
+    def test_value_change_changes_digest(self, fp):
+        assert fp.of_state({"a": 1}) != fp.of_state({"a": 2})
+        assert fp.of_state({"a": 1}) != fp.of_state({"b": 1})
+
+    def test_obiwan_references_hash_as_identity(self, fp):
+        inner = Box(1)
+        digest = fp.of_state({"ref": inner})
+        inner.value = 999  # the referent's own state is not part of the digest
+        assert fp.of_state({"ref": inner}) == digest
+        assert fp.of_state({"ref": Box(1)}) != digest  # different identity
+
+    def test_of_object_matches_of_state_on_vars(self, fp):
+        box = Box(5)
+        obi_id_of(box)  # materialize the identity field
+        assert fp.of_object(box) == fp.of_state(vars(box))
+
+    def test_of_value_detects_container_mutation(self, fp):
+        items = [1, 2]
+        baseline = fp.of_value(items)
+        items.append(3)
+        assert fp.of_value(items) != baseline
