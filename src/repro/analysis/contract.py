@@ -122,6 +122,14 @@ GLOBAL_RANDOM_MODULE = "random"
 #: The one module allowed to touch ambient time directly.
 CLOCK_MODULE_SUFFIX = "util/clock.py"
 
+#: Modules allowed to touch ambient time: the clock abstraction itself,
+#: and the obitrace span context — a :class:`repro.obs.context.Tracer`
+#: built without a site falls back to ``time.perf_counter`` (sites always
+#: inject ``site.clock.now``, so traced runs stay replay-deterministic).
+AMBIENT_CLOCK_MODULE_SUFFIXES: frozenset[str] = frozenset(
+    {CLOCK_MODULE_SUFFIX, "obs/context.py"}
+)
+
 #: Call attribute names that put bytes on the wire.  Holding a lock
 #: across one of these serializes the network under the lock and — for
 #: reentrant handler paths — deadlocks.

@@ -6,8 +6,11 @@ timeouts and even ``KeyboardInterrupt``; a ``pass``-only handler for an
 OBIWAN error class drops a replication failure on the floor, leaving the
 consumer's object graph silently inconsistent.
 
-OBI108 — ambient time and entropy.  Everything outside
-``repro/util/clock.py`` must take a ``Clock``; calling ``time.time()``
+OBI108 — ambient time and entropy.  Everything outside the ambient-clock
+modules (``repro/util/clock.py``, plus the obitrace span context whose
+site-less fallback clock is wall time — see
+:data:`repro.analysis.contract.AMBIENT_CLOCK_MODULE_SUFFIXES`) must take
+a ``Clock``; calling ``time.time()``
 (or drawing from the global ``random``) makes simnet replays
 non-deterministic, which the benchmark harness and the trace tests rely
 on.  Seeded ``random.Random(seed)`` instances are fine.
@@ -20,7 +23,7 @@ from collections.abc import Iterator
 from typing import TYPE_CHECKING
 
 from repro.analysis.contract import (
-    CLOCK_MODULE_SUFFIX,
+    AMBIENT_CLOCK_MODULE_SUFFIXES,
     GLOBAL_RANDOM_MODULE,
     NONDETERMINISTIC_CALLS,
     REPLICATION_ERROR_NAMES,
@@ -121,7 +124,8 @@ class NondeterministicClockRule(Rule):
     )
 
     def check(self, module: "ModuleSource") -> Iterator[Finding]:
-        if module.display_path.replace("\\", "/").endswith(CLOCK_MODULE_SUFFIX):
+        path = module.display_path.replace("\\", "/")
+        if any(path.endswith(suffix) for suffix in AMBIENT_CLOCK_MODULE_SUFFIXES):
             return
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):

@@ -292,6 +292,28 @@ def cmd_delta_sync() -> None:
     save_json("delta_sync", report)
 
 
+def cmd_tracing_overhead() -> None:
+    from repro.bench.tracing_overhead import tracing_overhead_report
+
+    print("P5 — obitrace cost on the fault path (wall clock, not simulated)")
+    report = tracing_overhead_report().jsonable()
+    print(
+        render_table(
+            ["tracing", "walk wall clock (ms)", "spans"],
+            [
+                ["off", f"{report['disabled_wall_ms']:.1f}", 0],
+                ["on", f"{report['enabled_wall_ms']:.1f}", report["spans_per_walk"]],
+            ],
+        )
+    )
+    print(
+        f"  no-op span {report['null_span_ns']:.0f} ns -> est. disabled overhead "
+        f"{report['est_disabled_overhead_pct']:.3f}% (< 2% budget); "
+        f"enabled overhead {report['enabled_overhead_pct']:.1f}%"
+    )
+    save_json("tracing_overhead", report)
+
+
 def cmd_memory_study() -> None:
     from repro.bench.memory_study import memory_study
 
@@ -324,6 +346,7 @@ COMMANDS = {
     "memory-study": cmd_memory_study,
     "fault-batching": cmd_fault_batching,
     "delta-sync": cmd_delta_sync,
+    "tracing-overhead": cmd_tracing_overhead,
 }
 
 

@@ -1,0 +1,148 @@
+"""PR-5 experiment: what does obitrace cost the fault path?
+
+Two numbers matter:
+
+* **disabled** — tracing is opt-in, so the instrumented fault path must
+  cost ~nothing while it is off.  Every instrumentation point then runs
+  ``NULL_TRACER.span(...)`` — one shared no-op context manager — and the
+  overhead is *(no-op span cost) × (spans the workload would emit)*,
+  reported as a percentage of the measured walk time.  The unit cost is
+  measured over a tight loop, the span count from a traced twin run, so
+  the estimate is deterministic rather than noise-limited (the per-walk
+  delta is far below wall-clock variance — which is the point).
+* **enabled** — live spans read the clock twice, allocate, and take the
+  collector lock; measured directly as traced vs untraced wall time on
+  the same walk.
+
+The workload is the paper's Figure-5 list walk (chunk-1 incremental
+replication) on the deterministic loopback world; wall times come from
+:class:`~repro.util.clock.WallClock` and take the best of ``repeats``
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.workloads import ListSpec, list_values_sum, make_linked_list
+from repro.core.interfaces import Incremental
+from repro.core.proxy_out import ProxyOutBase
+from repro.core.runtime import World
+from repro.obs.context import NULL_TRACER
+from repro.util.clock import WallClock
+
+DEFAULT_LENGTH = 1000
+DEFAULT_OBJECT_SIZE = 64
+DEFAULT_REPEATS = 3
+NULL_SPAN_ITERATIONS = 200_000
+
+
+@dataclass(frozen=True, slots=True)
+class TracingOverheadResult:
+    """The PR-5 acceptance numbers."""
+
+    length: int
+    repeats: int
+    #: Best-of-``repeats`` wall time of the walk with tracing off (the
+    #: instrumented path running no-op spans).
+    disabled_wall_ms: float
+    #: Same walk with tracing on at both sites.
+    enabled_wall_ms: float
+    #: Spans the traced walk recorded across both sites.
+    spans_per_walk: int
+    #: Measured cost of one disabled ``span()`` enter/exit, nanoseconds.
+    null_span_ns: float
+    #: ``null_span_ns × spans_per_walk`` as a share of the disabled walk.
+    est_disabled_overhead_pct: float
+    #: Direct enabled-vs-disabled wall-clock ratio, as a percentage.
+    enabled_overhead_pct: float
+
+    def jsonable(self) -> dict:
+        return {
+            "length": self.length,
+            "repeats": self.repeats,
+            "disabled_wall_ms": round(self.disabled_wall_ms, 3),
+            "enabled_wall_ms": round(self.enabled_wall_ms, 3),
+            "spans_per_walk": self.spans_per_walk,
+            "null_span_ns": round(self.null_span_ns, 1),
+            "est_disabled_overhead_pct": round(self.est_disabled_overhead_pct, 4),
+            "enabled_overhead_pct": round(self.enabled_overhead_pct, 2),
+        }
+
+
+def _walk_once(
+    *, traced: bool, length: int, object_size: int, wall: WallClock
+) -> tuple[float, int]:
+    """One full list walk; returns (wall seconds, spans recorded)."""
+    world = World.loopback()
+    provider = world.create_site("S2")
+    consumer = world.create_site("S1")
+    collectors = []
+    if traced:
+        collectors = [provider.enable_tracing(), consumer.enable_tracing()]
+    provider.export(make_linked_list(ListSpec(length, object_size)), name="list")
+
+    start = wall.now()
+    node: object = consumer.replicate("list", mode=Incremental(1))
+    total = 0
+    while node is not None:
+        total += consumer.invoke_local(node, "get_index")
+        node = consumer.invoke_local(node, "get_next")
+        if isinstance(node, ProxyOutBase) and node._obi_resolved is not None:
+            node = node._obi_resolved
+    elapsed = wall.now() - start
+    if total != list_values_sum(length):
+        raise AssertionError(f"traversal sum {total} wrong for length {length}")
+    spans = sum(collector.stats()["recorded"] for collector in collectors)
+    world.close()
+    return elapsed, spans
+
+
+def null_span_cost_ns(iterations: int = NULL_SPAN_ITERATIONS) -> float:
+    """Measured wall cost of one disabled span enter/exit, in nanoseconds.
+
+    Exercises exactly what an instrumentation point does while tracing is
+    off: call ``NULL_TRACER.span`` with a keyword attribute and enter/exit
+    the shared no-op context manager.
+    """
+    wall = WallClock()
+    tracer = NULL_TRACER
+    start = wall.now()
+    for index in range(iterations):
+        with tracer.span("bench.noop", name="x", index=index):
+            pass
+    return (wall.now() - start) / iterations * 1e9
+
+
+def tracing_overhead_report(
+    length: int = DEFAULT_LENGTH,
+    *,
+    object_size: int = DEFAULT_OBJECT_SIZE,
+    repeats: int = DEFAULT_REPEATS,
+) -> TracingOverheadResult:
+    """Measure disabled- and enabled-tracing cost on the list walk."""
+    wall = WallClock()
+    disabled = min(
+        _walk_once(traced=False, length=length, object_size=object_size, wall=wall)[0]
+        for _ in range(repeats)
+    )
+    enabled_runs = [
+        _walk_once(traced=True, length=length, object_size=object_size, wall=wall)
+        for _ in range(repeats)
+    ]
+    enabled = min(seconds for seconds, _spans in enabled_runs)
+    spans_per_walk = enabled_runs[0][1]
+    per_span_ns = null_span_cost_ns()
+
+    est_disabled_pct = (per_span_ns * 1e-9 * spans_per_walk) / disabled * 100.0
+    enabled_pct = max(0.0, (enabled / disabled - 1.0) * 100.0)
+    return TracingOverheadResult(
+        length=length,
+        repeats=repeats,
+        disabled_wall_ms=disabled * 1e3,
+        enabled_wall_ms=enabled * 1e3,
+        spans_per_walk=spans_per_walk,
+        null_span_ns=per_span_ns,
+        est_disabled_overhead_pct=est_disabled_pct,
+        enabled_overhead_pct=enabled_pct,
+    )

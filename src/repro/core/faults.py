@@ -45,25 +45,39 @@ COALESCE_TIMEOUT_S = 60.0
 
 
 def resolve_fault(site: "Site", proxy: ProxyOutBase) -> object:
-    """Resolve ``proxy`` to a local replica, splicing all demanders."""
-    if proxy._obi_resolved is not None:
-        return proxy._obi_resolved
+    """Resolve ``proxy`` to a local replica, splicing all demanders.
 
-    # Another path may already have replicated the target (e.g. a wider
-    # cluster fetched it, or a prefetching fault brought it along):
-    # short-circuit without touching the network.
+    The ``fault_resolved`` event publishes *inside* the fault span so
+    subscribers (the site logger) observe the causal trace context of the
+    resolution that produced the replica.
+    """
+    if proxy._obi_resolved is not None:
+        return _published(site, proxy, proxy._obi_resolved)
+
     target_id = proxy._obi_target_id
-    local = site.local_object_for(target_id)
-    if local is None:
-        local = _demand(site, proxy)
+    with site.tracer.span("fault", name=target_id) as fault_span:
+        # Another path may already have replicated the target (e.g. a wider
+        # cluster fetched it, or a prefetching fault brought it along):
+        # short-circuit without touching the network.
+        local = site.local_object_for(target_id)
+        if local is None:
+            local = _demand(site, proxy)
+        else:
+            fault_span.set(local_hit=True)
 
-    if proxy._obi_resolved is not None:
-        # Lost a race: another thread spliced this very proxy while we
-        # waited on the coalesced demand.
-        return proxy._obi_resolved
-    splice(proxy, local)
-    site.finish_fault(proxy, local)
-    return local
+        if proxy._obi_resolved is not None:
+            # Lost a race: another thread spliced this very proxy while we
+            # waited on the coalesced demand.
+            return _published(site, proxy, proxy._obi_resolved)
+        with site.tracer.span("splice", name=target_id) as splice_span:
+            splice_span.set(rewritten=splice(proxy, local))
+        site.finish_fault(proxy, local)
+        return _published(site, proxy, local)
+
+
+def _published(site: "Site", proxy: ProxyOutBase, replica: object) -> object:
+    site.events.publish("fault_resolved", site=site, proxy=proxy, replica=replica)
+    return replica
 
 
 def _demand(site: "Site", proxy: ProxyOutBase) -> object:
@@ -72,24 +86,26 @@ def _demand(site: "Site", proxy: ProxyOutBase) -> object:
     leader, handle = site.begin_demand(target_id)
     if not leader:
         site.fault_stats.add(coalesced_faults=1)
-        if not handle.event.wait(COALESCE_TIMEOUT_S):
-            raise ObjectFaultError(
-                f"timed out waiting for in-flight demand of {target_id!r}"
-            )
-        if handle.error is not None:
-            raise handle.error
-        if handle.result is None:
-            raise ObjectFaultError(
-                f"in-flight demand for {target_id!r} completed without a replica"
-            )
-        return handle.result
-    try:
-        local = _demand_over_network(site, proxy)
-    except BaseException as exc:
-        site.finish_demand(target_id, handle, error=exc)
-        raise
-    site.finish_demand(target_id, handle, result=local)
-    return local
+        with site.tracer.span("demand.wait", name=target_id, coalesced=True):
+            if not handle.event.wait(COALESCE_TIMEOUT_S):
+                raise ObjectFaultError(
+                    f"timed out waiting for in-flight demand of {target_id!r}"
+                )
+            if handle.error is not None:
+                raise handle.error
+            if handle.result is None:
+                raise ObjectFaultError(
+                    f"in-flight demand for {target_id!r} completed without a replica"
+                )
+            return handle.result
+    with site.tracer.span("demand", name=target_id):
+        try:
+            local = _demand_over_network(site, proxy)
+        except BaseException as exc:
+            site.finish_demand(target_id, handle, error=exc)
+            raise
+        site.finish_demand(target_id, handle, result=local)
+        return local
 
 
 def _demand_over_network(site: "Site", proxy: ProxyOutBase) -> object:

@@ -96,6 +96,18 @@ class PackagingSwizzler:
 
 def build_package(site: "Site", root: object, mode: ReplicationMode) -> ReplicaPackage:
     """Provider-side ``get(mode)``: package ``root``'s partial graph."""
+    with site.tracer.span("build_package") as span:
+        package = _build_package(site, root, mode)
+        span.set(
+            root=package.root_id,
+            objects=package.object_count,
+            bytes=len(package.payload),
+            pairs=package.pairs_created,
+        )
+        return package
+
+
+def _build_package(site: "Site", root: object, mode: ReplicationMode) -> ReplicaPackage:
     members = graphwalk.breadth_first(
         root, max_objects=mode.chunk, max_depth=mode.depth
     )
@@ -188,6 +200,16 @@ def integrate_package(site: "Site", package: ReplicaPackage) -> object:
     Returns the canonical local object for the package root — a fresh
     replica, or the pre-existing one updated in place.
     """
+    with site.tracer.span(
+        "integrate",
+        name=package.root_id,
+        objects=package.object_count,
+        bytes=len(package.payload),
+    ):
+        return _integrate_package(site, package)
+
+
+def _integrate_package(site: "Site", package: ReplicaPackage) -> object:
     site.charge_serialization(len(package.payload))
     site.charge_replicas(package.object_count)
 
@@ -293,6 +315,11 @@ def build_put(site: "Site", replicas: list[object]) -> PutPackage:
 
 def apply_put(site: "Site", package: PutPackage) -> dict[str, int]:
     """Master-side ``put``: apply replica states; returns new versions."""
+    with site.tracer.span("apply_put", entries=len(package.entries)):
+        return _apply_put(site, package)
+
+
+def _apply_put(site: "Site", package: PutPackage) -> dict[str, int]:
     versions: dict[str, int] = {}
     # Every entry decodes under the same unswizzling policy, so one
     # decoder serves the whole package (each decode() is its own frame).
@@ -373,6 +400,14 @@ def apply_put_delta(site: "Site", package: PutDeltaPackage) -> "dict[str, int] |
     mismatch answers :class:`NeedFull` with *nothing* applied, so the
     consumer's full-state retry sees an unchanged master.
     """
+    with site.tracer.span("apply_put_delta", entries=len(package.entries)) as span:
+        result = _apply_put_delta(site, package)
+        if isinstance(result, NeedFull):
+            span.set(outcome="need_full")
+        return result
+
+
+def _apply_put_delta(site: "Site", package: PutDeltaPackage) -> "dict[str, int] | NeedFull":
     decoder = Decoder(site.registry, SiteUnswizzler(site, ReplicationMode()))
     staged: list[tuple[str, object, dict[str, object]]] = []
     for entry in package.entries:

@@ -46,6 +46,8 @@ from repro.core.replication import (
 )
 from repro.core.telemetry import SyncPathStats
 from repro.core.versions import ChangeLog, DirtyTracker, DirtySnapshot
+from repro.obs.context import NULL_TRACER, Tracer
+from repro.obs.spans import SpanCollector
 from repro.rmi.endpoint import RmiEndpoint
 from repro.rmi.protocol import NeedFull
 from repro.rmi.refs import RemoteRef
@@ -175,6 +177,11 @@ class Site:
         self.gc_stats = GcStats()
         self.fault_stats = FaultPathStats()
         self.sync_stats = SyncPathStats()
+        #: Causal tracer (obitrace, PR 5).  :data:`NULL_TRACER` — whose
+        #: ``span()`` hands back one shared no-op context manager — until
+        #: :meth:`enable_tracing` swaps in a live one.  Shared with the
+        #: RMI endpoint so invoke/serve spans land in the same collector.
+        self.tracer = NULL_TRACER
         #: Opt-in knob for delta synchronization (PR 4).  When ``True``,
         #: ``put_back``/``put_back_cluster``/``refresh`` try the versioned
         #: delta verbs first and fall back to the legacy full-state path on
@@ -265,11 +272,18 @@ class Site:
         picks the granularity at run time (paper Section 2.1): per-object
         incremental, transitive closure, or cluster.
         """
-        ref = self._resolve_target(target)
-        package = self.endpoint.invoke(
-            ref, "get", (mode if mode is not None else Incremental(1),)
+        label = (
+            target
+            if isinstance(target, str)
+            else getattr(target, "object_id", repr(target))
         )
-        replica = integrate_package(self, package)
+        with self.tracer.span("replicate", name=label) as span:
+            ref = self._resolve_target(target)
+            package = self.endpoint.invoke(
+                ref, "get", (mode if mode is not None else Incremental(1),)
+            )
+            replica = integrate_package(self, package)
+            span.set(provider=ref.site_id, objects=package.object_count)
         self.events.publish("replica_registered", site=self, root=replica, package=package)
         return replica
 
@@ -295,31 +309,35 @@ class Site:
         cluster_ops.check_individually_updatable(self, replica)
         info = self._replica_record(replica)
         oid = obi_id_of(replica)
-        snap = self.dirty_tracker.capture(replica) if self.delta_sync else None
-        if snap is not None and snap.clean:
-            self.sync_stats.add(puts_noop=1)
-            return info.version
-        if snap is not None and not snap.whole and self._delta_peer_ok(info.provider):
-            versions = self._try_put_delta(info.provider, [(replica, snap)])
-            if versions is not None:
-                version = versions.get(oid)
-                if version is None:
-                    raise UnknownReplicaError(
-                        f"master returned no version for {oid!r} after delta put"
-                    )
-                info.version = version
-                return version
-        package = build_put(self, [replica])
-        versions = self.endpoint.invoke(info.provider, "put", (package,))
-        version = versions.get(oid)
-        if version is None:
-            raise UnknownReplicaError(
-                f"master returned no version for {oid!r} after put"
-            )
-        info.version = version
-        self._rebaseline_after_full_put([replica], [snap])
-        self.sync_stats.add(puts_full=1)
-        return version
+        with self.tracer.span("put_back", name=oid) as span:
+            snap = self.dirty_tracker.capture(replica) if self.delta_sync else None
+            if snap is not None and snap.clean:
+                self.sync_stats.add(puts_noop=1)
+                span.set(path="noop")
+                return info.version
+            if snap is not None and not snap.whole and self._delta_peer_ok(info.provider):
+                versions = self._try_put_delta(info.provider, [(replica, snap)])
+                if versions is not None:
+                    version = versions.get(oid)
+                    if version is None:
+                        raise UnknownReplicaError(
+                            f"master returned no version for {oid!r} after delta put"
+                        )
+                    info.version = version
+                    span.set(path="delta")
+                    return version
+            package = build_put(self, [replica])
+            versions = self.endpoint.invoke(info.provider, "put", (package,))
+            version = versions.get(oid)
+            if version is None:
+                raise UnknownReplicaError(
+                    f"master returned no version for {oid!r} after put"
+                )
+            info.version = version
+            self._rebaseline_after_full_put([replica], [snap])
+            self.sync_stats.add(puts_full=1)
+            span.set(path="full")
+            return version
 
     def put_back_cluster(self, root: object) -> dict[str, int]:
         """Push a whole cluster's state through its root's provider.
@@ -330,6 +348,14 @@ class Site:
         """
         info = self._replica_record(root)
         members = cluster_ops.cluster_members(self, root)
+        with self.tracer.span(
+            "put_back_cluster", name=obi_id_of(root), members=len(members)
+        ):
+            return self._put_back_cluster(info, members, root)
+
+    def _put_back_cluster(
+        self, info: "ReplicaRecord", members: list[object], root: object
+    ) -> dict[str, int]:
         snaps: list[DirtySnapshot | None] = [None] * len(members)
         if self.delta_sync and self._delta_peer_ok(info.provider):
             snaps = [self.dirty_tracker.capture(member) for member in members]
@@ -377,26 +403,31 @@ class Site:
         """
         cluster_ops.check_individually_updatable(self, replica)
         info = self._replica_record(replica)
-        if self.delta_sync and self._delta_peer_ok(info.provider):
-            snap = self.dirty_tracker.capture(replica)
-            if snap is not None and snap.clean:
-                reply = self._try_get_delta(info.provider, replica, info.version)
-                if reply is not None:
-                    saved = max(0, _own_state_size(replica) - len(reply.payload))
-                    if apply_refresh_delta(self, replica, reply):
-                        info.version = reply.version
-                        self.dirty_tracker.enroll(replica)
-                        self.sync_stats.add(refreshes_delta=1, delta_bytes_saved=saved)
-                        self.events.publish(
-                            "replica_refreshed", site=self, replica=replica
-                        )
-                        return replica
-                    # Merged state diverged from the master's fingerprint:
-                    # the full refresh below overwrites the partial merge.
-                    self.sync_stats.add(need_full_downgrades=1)
-        package = self.endpoint.invoke(info.provider, "get", (Incremental(1),))
-        refreshed = integrate_package(self, package)
-        self.sync_stats.add(refreshes_full=1)
+        with self.tracer.span("refresh", name=obi_id_of(replica)) as span:
+            if self.delta_sync and self._delta_peer_ok(info.provider):
+                snap = self.dirty_tracker.capture(replica)
+                if snap is not None and snap.clean:
+                    reply = self._try_get_delta(info.provider, replica, info.version)
+                    if reply is not None:
+                        saved = max(0, _own_state_size(replica) - len(reply.payload))
+                        if apply_refresh_delta(self, replica, reply):
+                            info.version = reply.version
+                            self.dirty_tracker.enroll(replica)
+                            self.sync_stats.add(
+                                refreshes_delta=1, delta_bytes_saved=saved
+                            )
+                            span.set(path="delta")
+                            self.events.publish(
+                                "replica_refreshed", site=self, replica=replica
+                            )
+                            return replica
+                        # Merged state diverged from the master's fingerprint:
+                        # the full refresh below overwrites the partial merge.
+                        self.sync_stats.add(need_full_downgrades=1)
+            package = self.endpoint.invoke(info.provider, "get", (Incremental(1),))
+            refreshed = integrate_package(self, package)
+            self.sync_stats.add(refreshes_full=1)
+            span.set(path="full")
         self.events.publish("replica_refreshed", site=self, replica=refreshed)
         return refreshed
 
@@ -408,8 +439,9 @@ class Site:
         place (cluster members cannot be individually refreshed).
         """
         info = self._replica_record(root)
-        package = self.endpoint.invoke(info.provider, "get", (info.mode,))
-        refreshed = integrate_package(self, package)
+        with self.tracer.span("refresh_cluster", name=obi_id_of(root)):
+            package = self.endpoint.invoke(info.provider, "get", (info.mode,))
+            refreshed = integrate_package(self, package)
         self.events.publish("replica_refreshed", site=self, replica=refreshed)
         return refreshed
 
@@ -468,6 +500,38 @@ class Site:
         with self._lock:
             self._replicas.pop(obi_id_of(replica), None)
         self.dirty_tracker.forget(replica)
+
+    # ------------------------------------------------------------------
+    # causal tracing (obitrace, PR 5)
+    # ------------------------------------------------------------------
+    def enable_tracing(self, *, capacity: int | None = None) -> SpanCollector:
+        """Start recording causal spans at this site; returns the collector.
+
+        The tracer reads the site clock (simulated or wall, matching the
+        transport) and is shared with the RMI endpoint, so replication
+        verbs, fault resolution and invoke/serve round trips all land in
+        one per-site :class:`~repro.obs.spans.SpanCollector`.  Calling it
+        again keeps the existing collector (idempotent).
+        """
+        if self.tracer.enabled:
+            return self.tracer.collector
+        collector = (
+            SpanCollector(capacity) if capacity is not None else SpanCollector()
+        )
+        tracer = Tracer(self.name, collector=collector, clock=self.clock.now)
+        self.tracer = tracer
+        self.endpoint.tracer = tracer
+        return collector
+
+    def disable_tracing(self) -> None:
+        """Stop recording; the fault path reverts to shared no-op spans.
+        An existing collector (and its spans) stays readable."""
+        self.tracer = NULL_TRACER
+        self.endpoint.tracer = NULL_TRACER
+
+    @property
+    def tracing_enabled(self) -> bool:
+        return self.tracer.enabled
 
     # ------------------------------------------------------------------
     # naming
@@ -665,9 +729,9 @@ class Site:
         return proxy
 
     def resolve_fault(self, proxy: ProxyOutBase) -> object:
-        replica = faults.resolve_fault(self, proxy)
-        self.events.publish("fault_resolved", site=self, proxy=proxy, replica=replica)
-        return replica
+        # fault_resolved publishes inside faults.resolve_fault, within the
+        # fault span, so log subscribers see the trace context.
+        return faults.resolve_fault(self, proxy)
 
     def finish_fault(self, proxy: ProxyOutBase, replica: object) -> None:
         self._pending_proxies.pop(proxy._obi_target_id, None)
@@ -785,16 +849,19 @@ class Site:
         package = build_put_delta(
             self, [(replica, snap.fields) for replica, snap in items]
         )
-        try:
-            result = self.endpoint.invoke(provider, "put_delta", (package,))
-        except (ProtocolError, RemoteError) as exc:
-            if not _delta_unsupported(exc):
-                raise
-            self._note_no_delta(provider)
-            return None
-        if isinstance(result, NeedFull):
-            self.sync_stats.add(need_full_downgrades=1)
-            return None
+        with self.tracer.span("put_delta", entries=len(items)) as span:
+            try:
+                result = self.endpoint.invoke(provider, "put_delta", (package,))
+            except (ProtocolError, RemoteError) as exc:
+                if not _delta_unsupported(exc):
+                    raise
+                self._note_no_delta(provider)
+                span.set(outcome="unversioned_peer")
+                return None
+            if isinstance(result, NeedFull):
+                self.sync_stats.add(need_full_downgrades=1)
+                span.set(outcome="need_full")
+                return None
         if not isinstance(result, dict):
             raise ReplicationError(f"unexpected put_delta reply: {result!r}")
         saved = 0
@@ -811,16 +878,19 @@ class Site:
         request = RefreshDeltaRequest(
             obi_id=obi_id_of(replica), base_version=base_version
         )
-        try:
-            reply = self.endpoint.invoke(provider, "get_delta", (request,))
-        except (ProtocolError, RemoteError) as exc:
-            if not _delta_unsupported(exc):
-                raise
-            self._note_no_delta(provider)
-            return None
-        if isinstance(reply, NeedFull):
-            self.sync_stats.add(need_full_downgrades=1)
-            return None
+        with self.tracer.span("get_delta", name=request.obi_id) as span:
+            try:
+                reply = self.endpoint.invoke(provider, "get_delta", (request,))
+            except (ProtocolError, RemoteError) as exc:
+                if not _delta_unsupported(exc):
+                    raise
+                self._note_no_delta(provider)
+                span.set(outcome="unversioned_peer")
+                return None
+            if isinstance(reply, NeedFull):
+                self.sync_stats.add(need_full_downgrades=1)
+                span.set(outcome="need_full")
+                return None
         if not isinstance(reply, RefreshDeltaReply):
             raise ReplicationError(f"unexpected get_delta reply: {reply!r}")
         return reply

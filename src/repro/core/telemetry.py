@@ -138,6 +138,12 @@ class TelemetrySnapshot:
     refreshes_full: int
     delta_bytes_saved: int
     need_full_downgrades: int
+    #: Causal-tracing collector state (obitrace, PR 5); zeros while the
+    #: site has never traced.
+    tracing_enabled: bool
+    spans_recorded: int
+    spans_dropped: int
+    span_high_water: int
 
     def render(self) -> str:
         return (
@@ -158,6 +164,10 @@ class TelemetrySnapshot:
             f"{self.refreshes_delta} delta / {self.refreshes_full} full refreshes, "
             f"{self.need_full_downgrades} NEED_FULL downgrades, "
             f"~{self.delta_bytes_saved} B saved\n"
+            f"  tracing : {'on' if self.tracing_enabled else 'off'}, "
+            f"{self.spans_recorded} spans recorded, "
+            f"{self.spans_dropped} dropped, "
+            f"high water {self.span_high_water}\n"
             f"  traffic : sent {self.messages_sent} msgs / {self.bytes_sent} B, "
             f"received {self.messages_received} msgs / {self.bytes_received} B"
         )
@@ -182,6 +192,12 @@ def snapshot(site: "Site") -> TelemetrySnapshot:
         pool_stats.reused_from(site.name) if pool_stats is not None else 0
     )
     sync = site.sync_stats.snapshot()
+    collector = getattr(site.tracer, "collector", None)
+    span_stats = (
+        collector.stats()
+        if collector is not None
+        else {"recorded": 0, "dropped": 0, "high_water": 0}
+    )
 
     return TelemetrySnapshot(
         site=site.name,
@@ -210,4 +226,8 @@ def snapshot(site: "Site") -> TelemetrySnapshot:
         refreshes_full=sync["refreshes_full"],
         delta_bytes_saved=sync["delta_bytes_saved"],
         need_full_downgrades=sync["need_full_downgrades"],
+        tracing_enabled=site.tracer.enabled,
+        spans_recorded=span_stats["recorded"],
+        spans_dropped=span_stats["dropped"],
+        span_high_water=span_stats["high_water"],
     )

@@ -1,0 +1,132 @@
+"""Stitch per-site spans into cross-site trace trees.
+
+Every site records only its own spans; the causal links (``trace_id``,
+``parent_id``) crossed the wire in RMI metadata.  :func:`gather_spans`
+pools collectors, :func:`assemble_traces` groups the pool by trace and
+rebuilds each tree.  Spans whose parent never arrived (dropped on
+overflow, or recorded by a site that was not gathered) are kept as extra
+roots rather than discarded — a partial trace is still a trace.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.obs.spans import Span, SpanCollector
+
+
+def gather_spans(*sources: "SpanCollector | Iterable[Span]") -> list[Span]:
+    """Pool spans from collectors (or plain span iterables) into one list."""
+    pool: list[Span] = []
+    for source in sources:
+        if isinstance(source, SpanCollector):
+            pool.extend(source.spans())
+        else:
+            pool.extend(source)
+    return pool
+
+
+def _order(span: Span) -> tuple[float, int]:
+    return (span.start, span.seq)
+
+
+class Trace:
+    """One assembled causal cascade: the spans of a single ``trace_id``."""
+
+    def __init__(self, trace_id: str, spans: list[Span]):
+        self.trace_id = trace_id
+        self.spans = sorted(spans, key=_order)
+        by_id = {span.span_id: span for span in self.spans}
+        self._children: dict[str | None, list[Span]] = {}
+        self.roots: list[Span] = []
+        for span in self.spans:
+            if span.parent_id is not None and span.parent_id in by_id:
+                self._children.setdefault(span.parent_id, []).append(span)
+            else:
+                self.roots.append(span)
+
+    @property
+    def root(self) -> Span:
+        """The earliest root (the usual single entry point of the cascade)."""
+        if not self.roots:
+            raise ValueError(f"trace {self.trace_id} has no spans")
+        return self.roots[0]
+
+    def children(self, span: Span) -> list[Span]:
+        return self._children.get(span.span_id, [])
+
+    def walk(self) -> Iterable[tuple[int, Span]]:
+        """Yield ``(depth, span)`` depth-first from each root."""
+        stack = [(0, root) for root in reversed(self.roots)]
+        while stack:
+            depth, span = stack.pop()
+            yield depth, span
+            for child in reversed(self.children(span)):
+                stack.append((depth + 1, child))
+
+    def sites(self) -> list[str]:
+        """Sites that contributed spans, in first-appearance order."""
+        seen: list[str] = []
+        for span in self.spans:
+            if span.site not in seen:
+                seen.append(span.site)
+        return seen
+
+    def count_by_kind(self) -> dict[str, int]:
+        return dict(Counter(span.kind for span in self.spans))
+
+    def find(self, kind: str | None = None, site: str | None = None) -> list[Span]:
+        """Spans matching the given kind and/or site, in tree time order."""
+        return [
+            span
+            for span in self.spans
+            if (kind is None or span.kind == kind)
+            and (site is None or span.site == site)
+        ]
+
+    @property
+    def duration(self) -> float:
+        if not self.spans:
+            return 0.0
+        return max(span.end for span in self.spans) - self.root.start
+
+    def render(self) -> str:
+        """An indented cross-site timeline, one line per span."""
+        origin = self.root.start if self.roots else 0.0
+        lines = [f"trace {self.trace_id}  sites={','.join(self.sites())}"]
+        for depth, span in self.walk():
+            label = span.name if span.name != span.kind else ""
+            extras = " ".join(
+                f"{key}={value}" for key, value in sorted(span.attributes.items())
+            )
+            flag = "" if span.status == "ok" else f" !{span.status}"
+            lines.append(
+                f"  [{(span.start - origin) * 1e3:9.3f}ms "
+                f"+{span.duration * 1e3:9.3f}ms] "
+                f"{span.site:>12s} {'  ' * depth}{span.kind}"
+                + (f" {label}" if label else "")
+                + (f"  ({extras})" if extras else "")
+                + flag
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace({self.trace_id!r}, spans={len(self.spans)}, "
+            f"sites={self.sites()!r})"
+        )
+
+
+def assemble_traces(spans: Iterable[Span]) -> list[Trace]:
+    """Group a span pool by ``trace_id`` into :class:`Trace` trees,
+    ordered by each trace's earliest start."""
+    groups: dict[str, list[Span]] = {}
+    for span in spans:
+        groups.setdefault(span.trace_id, []).append(span)
+    traces = [Trace(trace_id, group) for trace_id, group in groups.items()]
+    traces.sort(key=lambda trace: _order(trace.root) if trace.roots else (0.0, 0))
+    return traces

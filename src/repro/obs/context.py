@@ -1,0 +1,206 @@
+"""Thread-local trace context and the per-site :class:`Tracer`.
+
+Each thread carries a stack of *(trace_id, span_id, span)* entries.  The
+top of the stack is the causal parent of whatever happens next on that
+thread: ``Tracer.span`` pushes on entry and pops on exit, and the RMI
+layer stamps the top into outgoing requests (:func:`current`) and
+installs incoming context around dispatch (:func:`activate` /
+:func:`deactivate`).  Foreign entries — contexts received over the wire
+— have ``span=None``: they parent locally-created spans but are never
+mutated or recorded here.
+
+While tracing is off a site holds :data:`NULL_TRACER`, whose ``span()``
+returns one shared no-op context manager — no allocation, no clock read,
+no lock.  That is the entire disabled-path cost, benchmarked in
+``repro.bench.tracing_overhead``.
+
+This module is the sanctioned home of the tracer's *default* ambient
+clock (``time.perf_counter``, used only when a tracer is built without a
+site clock, e.g. in unit tests); everywhere else timing flows through
+``Clock`` objects per the OBI108 contract, and ``Site.enable_tracing``
+always passes ``site.clock.now``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.obs.spans import Span, SpanCollector, next_seq
+from repro.util.ids import new_span_id, new_trace_id
+
+_local = threading.local()
+
+
+def _stack() -> list[tuple[str, str, Span | None]]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current() -> tuple[str, str] | None:
+    """The active ``(trace_id, span_id)``, or ``None`` outside any span.
+
+    This is exactly what the RMI layer stamps into outgoing requests, so
+    context propagates across sites even when an intermediate hop has
+    tracing disabled (the foreign entry installed by :func:`activate`
+    still sits on the stack).
+    """
+    stack = getattr(_local, "stack", None)
+    if not stack:
+        return None
+    trace_id, span_id, _ = stack[-1]
+    return (trace_id, span_id)
+
+
+def activate(trace_id: str, span_id: str) -> object:
+    """Install a foreign (wire-received) context on this thread.
+
+    Returns an opaque token that must be handed back to
+    :func:`deactivate` — in a ``finally`` — to restore the previous
+    context.
+    """
+    stack = _stack()
+    stack.append((trace_id, span_id, None))
+    return len(stack)
+
+
+def deactivate(token: object) -> None:
+    """Pop the foreign context installed by the matching :func:`activate`."""
+    stack = _stack()
+    if not isinstance(token, int) or token < 1 or len(stack) < token:
+        raise RuntimeError("trace context stack out of balance on deactivate")
+    del stack[token - 1 :]
+
+
+def annotate(**attributes: object) -> None:
+    """Attach attributes to the innermost *local* active span, if any.
+
+    A no-op outside any span or under a purely foreign context — safe to
+    call unconditionally from low layers (the TCP pool uses this to tag
+    the enclosing ``rmi.invoke`` span with connect/reuse attribution).
+    """
+    stack = getattr(_local, "stack", None)
+    if not stack:
+        return
+    for _, _, span in reversed(stack):
+        if span is not None:
+            span.attributes.update(attributes)
+            return
+
+
+class _NullSpan:
+    """The shared do-nothing span handle handed out while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set(self, **attributes: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every ``span()`` is the same shared no-op."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, kind: str, name: str | None = None, **attributes: object) -> _NullSpan:
+        return _NULL_SPAN
+
+
+NULL_TRACER = NullTracer()
+
+
+class _ActiveSpan:
+    """Context manager for one live span: push on enter, record on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", kind: str, name: str | None, attributes: dict):
+        self._tracer = tracer
+        self._span = Span(
+            trace_id="",
+            span_id="",
+            parent_id=None,
+            kind=kind,
+            name=name if name is not None else kind,
+            site=tracer.site,
+            start=0.0,
+            attributes=attributes,
+        )
+
+    def __enter__(self) -> "_ActiveSpan":
+        span = self._span
+        stack = _stack()
+        if stack:
+            span.trace_id, span.parent_id, _ = stack[-1]
+        else:
+            span.trace_id = new_trace_id()
+        span.span_id = new_span_id()
+        span.seq = next_seq()
+        span.start = self._tracer.clock()
+        stack.append((span.trace_id, span.span_id, span))
+        return self
+
+    def set(self, **attributes: object) -> None:
+        self._span.attributes.update(attributes)
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        span = self._span
+        span.duration = self._tracer.clock() - span.start
+        if exc_type is not None:
+            span.status = "error"
+            span.attributes.setdefault(
+                "error", getattr(exc_type, "__name__", str(exc_type))
+            )
+        stack = _stack()
+        if stack and stack[-1][2] is span:
+            stack.pop()
+        else:  # unbalanced exit (exotic generator teardown): scrub, don't crash
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i][2] is span:
+                    del stack[i]
+                    break
+        self._tracer.collector.record(span)
+        return None
+
+
+class Tracer:
+    """The live tracer a :class:`~repro.core.runtime.Site` holds while
+    tracing is enabled.
+
+    ``clock`` is a zero-argument callable returning seconds —
+    ``site.clock.now`` in production so span timestamps share the site's
+    time base (simulated or wall).
+    """
+
+    __slots__ = ("site", "collector", "clock")
+    enabled = True
+
+    def __init__(
+        self,
+        site: str,
+        collector: SpanCollector | None = None,
+        clock: Callable[[], float] | None = None,
+    ):
+        self.site = site
+        self.collector = collector if collector is not None else SpanCollector()
+        self.clock = clock if clock is not None else time.perf_counter
+
+    def span(self, kind: str, name: str | None = None, **attributes: object) -> _ActiveSpan:
+        """Open a span; use as ``with tracer.span("fault", name=oid) as sp:``."""
+        return _ActiveSpan(self, kind, name, attributes)
+
+    def __repr__(self) -> str:
+        return f"Tracer(site={self.site!r}, collector={self.collector!r})"

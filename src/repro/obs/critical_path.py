@@ -1,0 +1,110 @@
+"""Critical-path extraction and time attribution over assembled traces.
+
+The critical path of a cascade is the chain of spans that bounds its
+end-to-end latency: from the root, repeatedly descend into the child
+whose *end* time is latest (ties broken by sequence), because the parent
+cannot finish before that child does.  Everything off the path was
+overlapped or cheap — speeding it up cannot shorten the cascade.
+
+``time_by_kind`` attributes *self time* — a span's duration minus the
+time covered by its children — so the table answers "where did the time
+go" without double counting nested spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.obs.assemble import Trace
+from repro.obs.spans import Span
+
+
+@dataclass(slots=True)
+class CriticalPath:
+    """The latency-bounding chain of one trace, root first."""
+
+    trace_id: str
+    spans: list[Span]
+
+    @property
+    def duration(self) -> float:
+        return self.spans[0].duration if self.spans else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"critical path of {self.trace_id}: "
+            f"{len(self.spans)} spans, {self.duration * 1e3:.3f}ms"
+        ]
+        for hop, span in enumerate(self.spans):
+            label = f" {span.name}" if span.name != span.kind else ""
+            lines.append(
+                f"  {hop}: {span.site:>12s} {span.kind}{label} "
+                f"+{span.duration * 1e3:.3f}ms"
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+def critical_path(trace: Trace) -> CriticalPath:
+    """The chain of spans bounding the trace's end-to-end latency.
+
+    Backward walk from each span's completion: the latest-ending child
+    is on the path (its parent could not finish earlier), and so is the
+    latest-ending sibling that completed before it started, recursively.
+    Overlapped or early-finishing work never appears.
+    """
+    if not trace.roots:
+        return CriticalPath(trace.trace_id, [])
+    return CriticalPath(trace.trace_id, _chain(trace, trace.root))
+
+
+def _chain(trace: Trace, span: Span) -> list[Span]:
+    result = [span]
+    children = sorted(trace.children(span), key=lambda s: (s.end, s.seq))
+    if not children:
+        return result
+    on_path = [children.pop()]
+    while True:
+        predecessor = None
+        for candidate in reversed(children):
+            if candidate.end <= on_path[-1].start:
+                predecessor = candidate
+                break
+        if predecessor is None:
+            break
+        on_path.append(predecessor)
+        children.remove(predecessor)
+    for child in reversed(on_path):
+        result.extend(_chain(trace, child))
+    return result
+
+
+def time_by_kind(spans: Iterable[Span]) -> dict[str, float]:
+    """Self time per span kind, descending.
+
+    Self time is ``duration − Σ child durations`` clipped at zero (a
+    child can outlive its parent only through clock skew between sites;
+    clipping keeps the attribution non-negative rather than letting skew
+    produce nonsense negatives).
+    """
+    spans = list(spans)
+    child_time: dict[str, float] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            child_time[span.parent_id] = child_time.get(span.parent_id, 0.0) + span.duration
+    totals: dict[str, float] = {}
+    for span in spans:
+        self_time = max(0.0, span.duration - child_time.get(span.span_id, 0.0))
+        totals[span.kind] = totals.get(span.kind, 0.0) + self_time
+    return dict(sorted(totals.items(), key=lambda item: -item[1]))
+
+
+def slow_spans(spans: Iterable[Span], threshold: float) -> list[Span]:
+    """Spans whose duration meets or exceeds ``threshold`` seconds,
+    slowest first."""
+    flagged = [span for span in spans if span.duration >= threshold]
+    flagged.sort(key=lambda span: -span.duration)
+    return flagged

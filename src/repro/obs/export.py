@@ -1,0 +1,101 @@
+"""Span exporters: JSON lines and Chrome ``trace_event`` format.
+
+The JSONL form is one ``Span.jsonable()`` dict per line — trivially
+greppable and re-importable.  The Chrome form follows the Trace Event
+Format's JSON-object flavour (``{"traceEvents": [...]}``) using complete
+("X") events with microsecond timestamps, one *process* lane per site;
+the file loads directly in Perfetto (ui.perfetto.dev) or
+``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.spans import Span
+
+
+def to_jsonl(spans: Iterable[Span]) -> str:
+    """One compact JSON object per span, newline separated."""
+    return "\n".join(
+        json.dumps(span.jsonable(), sort_keys=True, default=str) for span in spans
+    )
+
+
+def from_jsonl(text: str) -> list[Span]:
+    """Rebuild spans from :func:`to_jsonl` output (the CLI's ``--format
+    jsonl`` files can be re-assembled and re-analyzed offline)."""
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        data = json.loads(line)
+        spans.append(
+            Span(
+                trace_id=data["trace_id"],
+                span_id=data["span_id"],
+                parent_id=data["parent_id"],
+                kind=data["kind"],
+                name=data["name"],
+                site=data["site"],
+                start=data["start"],
+                duration=data["duration"],
+                attributes=data.get("attributes", {}),
+                status=data.get("status", "ok"),
+            )
+        )
+    return spans
+
+
+def chrome_trace(spans: Iterable[Span]) -> dict:
+    """Spans as a Chrome ``trace_event`` JSON object (dict form).
+
+    Sites map to processes (stable pids in first-appearance order) so
+    Perfetto shows one named lane per site; span ids ride along in
+    ``args`` so the tree can be reconstructed from the export.
+    """
+    spans = list(spans)
+    pids: dict[str, int] = {}
+    events: list[dict] = []
+    for span in spans:
+        if span.site not in pids:
+            pids[span.site] = len(pids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pids[span.site],
+                    "tid": 0,
+                    "args": {"name": f"site {span.site}"},
+                }
+            )
+    for span in spans:
+        args: dict[str, object] = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "status": span.status,
+        }
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update({key: str(value) for key, value in span.attributes.items()})
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.kind,
+                "pid": pids[span.site],
+                "tid": 0,
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def to_chrome_json(spans: Iterable[Span]) -> str:
+    """:func:`chrome_trace` serialized — write this straight to a
+    ``.json`` file and open it in Perfetto."""
+    return json.dumps(chrome_trace(spans), sort_keys=True)

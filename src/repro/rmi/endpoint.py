@@ -16,6 +16,7 @@ from __future__ import annotations
 import threading
 from collections.abc import Sequence
 
+from repro.obs.context import NULL_TRACER, activate, current, deactivate
 from repro.rmi.nameserver import (
     NAMESERVER_METHODS,
     NAMESERVER_OBJECT_ID,
@@ -58,6 +59,9 @@ class RmiEndpoint:
         self._swizzler: Swizzler | None = None
         self._unswizzler: Unswizzler | None = None
         self._caller = threading.local()
+        #: Causal tracer shared with the owning site; ``NULL_TRACER``
+        #: (pure no-ops) until ``Site.enable_tracing`` swaps a live one in.
+        self.tracer = NULL_TRACER
         self._endpoint = network.attach(site_id, self._handle_frame)
         #: Which site hosts the name server; defaults to this site if it
         #: hosts one (see :meth:`host_nameserver`).
@@ -97,10 +101,13 @@ class RmiEndpoint:
         self._caller.site = message.src
         try:
             if isinstance(body, InvokeRequest):
-                result: object = self.objects.dispatch(body)
+                result: object = self._dispatch_traced(body, caller=message.src)
             elif isinstance(body, InvokeBatchRequest):
                 result = InvokeBatchResponse(
-                    results=[self.objects.dispatch(request) for request in body.requests]
+                    results=[
+                        self._dispatch_traced(request, caller=message.src)
+                        for request in body.requests
+                    ]
                 )
             else:
                 raise ProtocolError(
@@ -110,6 +117,31 @@ class RmiEndpoint:
         finally:
             self._caller.site = None
         return self._encoder().encode(result)
+
+    def _dispatch_traced(self, request: InvokeRequest, *, caller: str) -> object:
+        """Dispatch one inbound request under its wire trace context.
+
+        Untraced requests (``trace is None``, the common case) go straight
+        to the object table.  Traced ones get the caller's context
+        installed for the duration of dispatch — so spans this dispatch
+        creates, and any context it forwards downstream, parent correctly
+        across sites — plus a local ``rmi.serve`` span when this site is
+        itself tracing.
+        """
+        trace = request.trace
+        if trace is None:
+            return self.objects.dispatch(request)
+        token = activate(trace[0], trace[1])
+        try:
+            with self.tracer.span(
+                "rmi.serve", name=request.method, src=caller
+            ) as span:
+                result = self.objects.dispatch(request)
+                if isinstance(result, InvokeFailure):
+                    span.set(error=result.error_name)
+                return result
+        finally:
+            deactivate(token)
 
     # ------------------------------------------------------------------
     # client side
@@ -127,9 +159,15 @@ class RmiEndpoint:
         if ref.site_id == self.site_id:
             result = self.objects.dispatch(request)
         else:
-            payload = self._encoder().encode(request)
-            response_payload = self._endpoint.call(ref.site_id, payload)
-            result = self._decoder().decode(response_payload)
+            with self.tracer.span(
+                "rmi.invoke", name=method, dst=ref.site_id
+            ) as span:
+                request.trace = current()
+                payload = self._encoder().encode(request)
+                response_payload = self._endpoint.call(ref.site_id, payload)
+                result = self._decoder().decode(response_payload)
+                if isinstance(result, InvokeFailure):
+                    span.set(error=result.error_name)
         if isinstance(result, InvokeSuccess):
             return result.value
         if isinstance(result, InvokeFailure):
@@ -165,9 +203,16 @@ class RmiEndpoint:
         if site_id == self.site_id:
             results: list = [self.objects.dispatch(request) for request in requests]
         else:
-            payload = self._encoder().encode(InvokeBatchRequest(requests=requests))
-            response_payload = self._endpoint.call(site_id, payload)
-            decoded = self._decoder().decode(response_payload)
+            with self.tracer.span(
+                "rmi.invoke_batch", dst=site_id, calls=len(requests)
+            ):
+                context = current()
+                if context is not None:
+                    for request in requests:
+                        request.trace = context
+                payload = self._encoder().encode(InvokeBatchRequest(requests=requests))
+                response_payload = self._endpoint.call(site_id, payload)
+                decoded = self._decoder().decode(response_payload)
             if not isinstance(decoded, InvokeBatchResponse) or len(decoded.results) != len(requests):
                 raise ProtocolError(
                     f"batched invocation on {site_id!r} returned unexpected body "
@@ -198,8 +243,12 @@ class RmiEndpoint:
         if ref.site_id == self.site_id:
             self.objects.dispatch(request)
             return
-        payload = self._encoder().encode(request)
-        self._endpoint.cast(ref.site_id, payload)
+        with self.tracer.span(
+            "rmi.oneway", name=method, dst=ref.site_id
+        ):
+            request.trace = current()
+            payload = self._encoder().encode(request)
+            self._endpoint.cast(ref.site_id, payload)
 
     def stub(self, ref: RemoteRef, methods: Sequence[str], *, interface_name: str | None = None) -> Stub:
         """Build a client stub for ``ref`` exposing ``methods``."""

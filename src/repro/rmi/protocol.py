@@ -28,18 +28,39 @@ from repro.util.errors import RemoteError
 
 @dataclass(slots=True)
 class InvokeRequest:
-    """A method call on an exported object."""
+    """A method call on an exported object.
+
+    ``trace`` is optional causal-trace context — the caller's
+    ``(trace_id, span_id)`` from :mod:`repro.obs.context` — and follows
+    the prefetch wire-compat precedent: requests without it serialize to
+    the legacy 4-tuple (byte-identical to pre-tracing peers), requests
+    carrying it widen to a 5-tuple that old decoders never see because
+    untraced callers never stamp it.
+    """
 
     object_id: str
     method: str
     args: tuple = ()
     kwargs: dict = field(default_factory=dict)
+    trace: tuple | None = None
 
     def __getstate__(self) -> object:
-        return (self.object_id, self.method, self.args, self.kwargs)
+        if self.trace is None:
+            return (self.object_id, self.method, self.args, self.kwargs)
+        return (self.object_id, self.method, self.args, self.kwargs, self.trace)
 
     def __setstate__(self, state: object) -> None:
-        self.object_id, self.method, self.args, self.kwargs = state  # type: ignore[misc]
+        if len(state) == 4:  # type: ignore[arg-type]
+            self.object_id, self.method, self.args, self.kwargs = state  # type: ignore[misc]
+            self.trace = None
+        else:
+            (
+                self.object_id,
+                self.method,
+                self.args,
+                self.kwargs,
+                self.trace,
+            ) = state  # type: ignore[misc]
 
 
 @dataclass(slots=True)

@@ -35,6 +35,7 @@ import struct
 import threading
 from dataclasses import dataclass, field
 
+from repro.obs.context import annotate
 from repro.simnet.message import Message, MessageKind
 from repro.simnet.network import Network
 from repro.util.errors import TransportError
@@ -265,6 +266,10 @@ class TcpNetwork(Network):
                 sock, reused = self._acquire(src, dst)
             except (OSError, ConnectionError) as exc:
                 raise TransportError(f"tcp call {src!r}->{dst!r} failed: {exc}") from exc
+            # Tag the enclosing rmi.invoke span (if any) with connection
+            # attribution: a fresh connect on the fault path shows up as
+            # tcp_reused=False right where the latency went.
+            annotate(tcp_reused=reused, tcp_attempts=attempt + 1)
             try:
                 if timeout is not None:
                     sock.settimeout(timeout)
@@ -291,6 +296,7 @@ class TcpNetwork(Network):
                 sock, reused = self._acquire(src, dst)
             except (OSError, ConnectionError) as exc:
                 raise TransportError(f"tcp cast {src!r}->{dst!r} failed: {exc}") from exc
+            annotate(tcp_reused=reused, tcp_attempts=attempt + 1)
             try:
                 _send_frame(sock, message)
             except (OSError, ConnectionError) as exc:

@@ -92,6 +92,103 @@ class TraceRecorder:
             if (e.src, e.dst) in ((a, b), (b, a))
         ]
 
+    def filter(
+        self,
+        *,
+        request_id: str | None = None,
+        kind: MessageKind | None = None,
+        src: str | None = None,
+        dst: str | None = None,
+    ) -> list[TraceEvent]:
+        """Events matching every given criterion, in order.
+
+        ``filter(request_id=...)`` isolates one operation's frames — the
+        request and its response share the id — so the frame-level and
+        span-level views of the same round trip can be joined.
+        """
+        return [
+            e
+            for e in self.events
+            if (request_id is None or e.request_id == request_id)
+            and (kind is None or e.kind is kind)
+            and (src is None or e.src == src)
+            and (dst is None or e.dst == dst)
+        ]
+
+    def to_spans(self, *, trace_id: str | None = None) -> list["Span"]:
+        """The frame log as obitrace spans (the frame-level bridge).
+
+        Each completed request/response pair becomes one ``net.round_trip``
+        span lasting from the request's transit to its response's; casts
+        and orphaned requests become zero-duration ``net.cast`` /
+        ``net.request`` marks.  All spans are roots of one trace (fresh id
+        unless given), timed on the network clock — the same time base
+        traced sites use — so they line up under obitrace's assembly,
+        export and critical-path tooling alongside protocol spans.
+        """
+        from repro.obs.spans import Span, next_seq
+        from repro.util.ids import new_span_id, new_trace_id
+
+        tid = trace_id if trace_id is not None else new_trace_id()
+        spans: list[Span] = []
+        open_requests: dict[str, TraceEvent] = {}
+        for event in self.events:
+            if event.kind is MessageKind.REQUEST:
+                open_requests[event.request_id] = event
+                continue
+            if event.kind in (MessageKind.RESPONSE, MessageKind.ERROR):
+                request = open_requests.pop(event.request_id, None)
+                if request is not None:
+                    spans.append(
+                        Span(
+                            trace_id=tid,
+                            span_id=new_span_id(),
+                            parent_id=None,
+                            kind="net.round_trip",
+                            name=request.request_id,
+                            site=request.src,
+                            start=request.t,
+                            duration=max(0.0, event.t - request.t),
+                            attributes={
+                                "dst": request.dst,
+                                "bytes_out": request.size,
+                                "bytes_in": event.size,
+                            },
+                            status="ok" if event.kind is MessageKind.RESPONSE else "error",
+                            seq=next_seq(),
+                        )
+                    )
+                continue
+            spans.append(
+                Span(
+                    trace_id=tid,
+                    span_id=new_span_id(),
+                    parent_id=None,
+                    kind="net.cast",
+                    name=event.request_id,
+                    site=event.src,
+                    start=event.t,
+                    attributes={"dst": event.dst, "bytes_out": event.size},
+                    seq=next_seq(),
+                )
+            )
+        for request in open_requests.values():
+            spans.append(
+                Span(
+                    trace_id=tid,
+                    span_id=new_span_id(),
+                    parent_id=None,
+                    kind="net.request",
+                    name=request.request_id,
+                    site=request.src,
+                    start=request.t,
+                    attributes={"dst": request.dst, "bytes_out": request.size},
+                    seq=next_seq(),
+                )
+            )
+        spans.sort(key=lambda span: (span.start, span.seq))
+        return spans
+
     def bytes_total(self) -> int:
         return sum(e.size for e in self.events)
 

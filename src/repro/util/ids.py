@@ -41,6 +41,8 @@ class IdGenerator:
 _site_ids = IdGenerator("site")
 _object_ids = IdGenerator("obj")
 _request_ids = IdGenerator("req")
+_trace_ids = IdGenerator("trace")
+_span_ids = IdGenerator("span")
 
 
 def new_site_id() -> str:
@@ -56,3 +58,13 @@ def new_object_id() -> str:
 def new_request_id() -> str:
     """Return a fresh request identifier for request/response matching."""
     return _request_ids()
+
+
+def new_trace_id() -> str:
+    """Return a fresh trace identifier (one causal cascade)."""
+    return _trace_ids()
+
+
+def new_span_id() -> str:
+    """Return a fresh span identifier (one step within a trace)."""
+    return _span_ids()

@@ -9,12 +9,19 @@ in-memory ring for tests and postmortems.
 Events covered: ``provider_exported``, ``replica_registered``,
 ``replica_refreshed``, ``fault_resolved``, ``put_applied``,
 ``connectivity_changed``.
+
+When the emitting thread is inside a causal trace context (obitrace,
+:mod:`repro.obs.context`), the line carries the active
+``trace_id/span_id`` as a suffix, so logs grep-join against exported
+traces.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from typing import IO, TYPE_CHECKING
+
+from repro.obs.context import current as _current_trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.runtime import Site
@@ -59,6 +66,9 @@ class SiteLogger:
                 f"[{self.site.clock.now() * 1e3:10.3f}ms] "
                 f"{self.site.name:>12s} {topic:<21s} {renderer(kwargs)}"
             )
+            context = _current_trace()
+            if context is not None:
+                line += f"  [{context[0]}/{context[1]}]"
             self.lines.append(line)
             if self.stream is not None:
                 self.stream.write(line + "\n")

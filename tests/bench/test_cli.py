@@ -28,6 +28,7 @@ def test_all_commands_registered():
         "memory-study",
         "fault-batching",
         "delta-sync",
+        "tracing-overhead",
     }
     assert set(COMMANDS) == expected
 

@@ -60,3 +60,28 @@ def test_render_is_human_readable(zsites):
     assert "site S1" in text
     assert "replicas" in text
     assert "traffic" in text
+
+
+def test_tracing_line_off_by_default(zsites):
+    _provider, consumer = zsites
+    snap = snapshot(consumer)
+    assert snap.tracing_enabled is False
+    assert snap.spans_recorded == 0
+    assert "tracing : off" in snap.render()
+
+
+def test_tracing_counters_when_enabled(zsites):
+    provider, consumer = zsites
+    collector = consumer.enable_tracing()
+    provider.export(Box("v"), name="box")
+    consumer.replicate("box")
+
+    snap = snapshot(consumer)
+    stats = collector.stats()
+    assert snap.tracing_enabled is True
+    assert snap.spans_recorded == stats["recorded"] > 0
+    assert snap.spans_dropped == 0
+    assert snap.span_high_water == stats["high_water"]
+    text = snap.render()
+    assert "tracing : on" in text
+    assert f"{stats['recorded']} spans recorded" in text

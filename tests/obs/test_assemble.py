@@ -1,0 +1,161 @@
+"""Trace assembly, critical-path extraction, and time attribution on
+hand-built span sets with known answers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.assemble import Trace, assemble_traces, gather_spans
+from repro.obs.critical_path import critical_path, slow_spans, time_by_kind
+from repro.obs.spans import Span, SpanCollector, next_seq
+
+
+def span(
+    span_id: str,
+    parent_id: str | None,
+    kind: str,
+    start: float,
+    duration: float,
+    *,
+    site: str = "S1",
+    trace_id: str = "trace:t",
+) -> Span:
+    return Span(
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_id=parent_id,
+        kind=kind,
+        name=kind,
+        site=site,
+        start=start,
+        duration=duration,
+        seq=next_seq(),
+    )
+
+
+@pytest.fixture
+def cascade() -> list[Span]:
+    """A two-site fault cascade with a known critical path.
+
+    fault(0..10) on S1 contains demand(1..9) then splice(9.5..10);
+    demand contains rmi.invoke(1..6) — which covers the provider-side
+    serve(2..5) on S2 — then integrate(6..9).  Every span here bounds
+    the cascade, so the critical path is the whole chain in
+    chronological order; ``test_overlapped_sibling_stays_off_path``
+    covers the pruning case.
+    """
+    return [
+        span("f", None, "fault", 0.0, 10.0),
+        span("d", "f", "demand", 1.0, 8.0),
+        span("i", "d", "rmi.invoke", 1.0, 5.0),
+        span("s", "i", "rmi.serve", 2.0, 3.0, site="S2"),
+        span("g", "d", "integrate", 6.0, 3.0),
+        span("p", "f", "splice", 9.5, 0.5),
+    ]
+
+
+class TestGather:
+    def test_pools_collectors_and_iterables(self):
+        collector = SpanCollector()
+        a, b = span("a", None, "x", 0.0, 1.0), span("b", None, "y", 1.0, 1.0)
+        collector.record(a)
+        pool = gather_spans(collector, [b])
+        assert pool == [a, b]
+
+
+class TestTrace:
+    def test_tree_shape(self, cascade):
+        trace = Trace("trace:t", cascade)
+        assert trace.root.kind == "fault"
+        assert [child.kind for child in trace.children(trace.root)] == [
+            "demand",
+            "splice",
+        ]
+        assert [(depth, s.kind) for depth, s in trace.walk()] == [
+            (0, "fault"),
+            (1, "demand"),
+            (2, "rmi.invoke"),
+            (3, "rmi.serve"),
+            (2, "integrate"),
+            (1, "splice"),
+        ]
+
+    def test_sites_and_counts(self, cascade):
+        trace = Trace("trace:t", cascade)
+        assert trace.sites() == ["S1", "S2"]
+        assert trace.count_by_kind()["fault"] == 1
+        assert trace.find(site="S2")[0].kind == "rmi.serve"
+        assert trace.duration == pytest.approx(10.0)
+        assert len(trace) == 6
+
+    def test_orphans_become_roots(self):
+        orphan = span("o", "never-arrived", "integrate", 5.0, 1.0)
+        trace = Trace("trace:t", [span("r", None, "fault", 0.0, 2.0), orphan])
+        assert len(trace.roots) == 2
+        assert trace.root.kind == "fault"  # earliest root wins
+
+    def test_empty_trace_has_no_root(self):
+        with pytest.raises(ValueError):
+            Trace("trace:t", []).root
+
+    def test_render_marks_errors(self, cascade):
+        cascade[3].status = "error"
+        text = Trace("trace:t", cascade).render()
+        assert "sites=S1,S2" in text
+        assert "!error" in text
+
+    def test_assemble_groups_by_trace_id(self, cascade):
+        other = span("z", None, "fault", -1.0, 0.5, trace_id="trace:u")
+        traces = assemble_traces(cascade + [other])
+        assert [t.trace_id for t in traces] == ["trace:u", "trace:t"]
+
+
+class TestCriticalPath:
+    def test_backward_walk_finds_the_bounding_chain(self, cascade):
+        path = critical_path(Trace("trace:t", cascade))
+        assert [s.kind for s in path.spans] == [
+            "fault",
+            "demand",
+            "rmi.invoke",
+            "rmi.serve",
+            "integrate",
+            "splice",
+        ]
+        assert path.duration == pytest.approx(10.0)
+        assert "critical path" in path.render()
+        assert len(path) == 6
+
+    def test_overlapped_sibling_stays_off_path(self):
+        spans = [
+            span("r", None, "fault", 0.0, 10.0),
+            span("a", "r", "demand", 0.0, 10.0),
+            span("b", "r", "refresh", 0.0, 5.0),  # fully overlapped by a
+        ]
+        path = critical_path(Trace("trace:t", spans))
+        assert [s.span_id for s in path.spans] == ["r", "a"]
+
+    def test_empty_trace_yields_empty_path(self):
+        assert critical_path(Trace("trace:t", [])).spans == []
+
+    def test_self_time_attribution(self, cascade):
+        totals = time_by_kind(cascade)
+        # fault 10 − (demand 8 + splice 0.5); demand 8 − (invoke 5 + integrate 3)
+        assert totals["fault"] == pytest.approx(1.5)
+        assert totals["demand"] == pytest.approx(0.0)
+        assert totals["rmi.invoke"] == pytest.approx(2.0)  # the wire time
+        assert totals["rmi.serve"] == pytest.approx(3.0)
+        # descending order, no double counting
+        assert sum(totals.values()) == pytest.approx(10.0)
+        assert list(totals)[0] == "rmi.serve"
+
+    def test_skew_clips_to_zero(self):
+        spans = [
+            span("r", None, "fault", 0.0, 1.0),
+            span("c", "r", "demand", 0.0, 2.0),  # child outlives parent (skew)
+        ]
+        totals = time_by_kind(spans)
+        assert totals["fault"] == 0.0
+
+    def test_slow_spans_sorted_slowest_first(self, cascade):
+        flagged = slow_spans(cascade, 4.0)
+        assert [s.kind for s in flagged] == ["fault", "demand", "rmi.invoke"]

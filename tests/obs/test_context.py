@@ -1,0 +1,171 @@
+"""Thread-local trace context and Tracer/NullTracer semantics."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.context import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    activate,
+    annotate,
+    current,
+    deactivate,
+)
+from repro.obs.spans import SpanCollector
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@pytest.fixture
+def tracer():
+    collector = SpanCollector()
+    clock = FakeClock()
+    tracer = Tracer("S1", collector=collector, clock=clock)
+    return tracer, collector, clock
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert NullTracer().enabled is False
+
+    def test_span_is_one_shared_noop(self):
+        a = NULL_TRACER.span("fault", name="x", attr=1)
+        b = NULL_TRACER.span("replicate")
+        assert a is b  # no allocation per call — the disabled-path contract
+
+    def test_noop_span_protocol(self):
+        with NULL_TRACER.span("fault") as span:
+            span.set(key="value")
+        assert current() is None
+
+    def test_noop_span_does_not_swallow_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with NULL_TRACER.span("fault"):
+                raise RuntimeError("boom")
+
+
+class TestForeignContext:
+    def test_activate_sets_current(self):
+        token = activate("trace:9", "span:9")
+        try:
+            assert current() == ("trace:9", "span:9")
+        finally:
+            deactivate(token)
+        assert current() is None
+
+    def test_nested_activates_unwind_in_order(self):
+        outer = activate("trace:1", "span:1")
+        inner = activate("trace:1", "span:2")
+        assert current() == ("trace:1", "span:2")
+        deactivate(inner)
+        assert current() == ("trace:1", "span:1")
+        deactivate(outer)
+        assert current() is None
+
+    def test_deactivate_rejects_stale_token(self):
+        token = activate("trace:1", "span:1")
+        deactivate(token)
+        with pytest.raises(RuntimeError):
+            deactivate(token)
+
+    def test_deactivate_rejects_garbage_token(self):
+        with pytest.raises(RuntimeError):
+            deactivate("nonsense")
+
+    def test_annotate_ignores_foreign_context(self):
+        token = activate("trace:1", "span:1")
+        try:
+            annotate(key="value")  # no local span — must be a silent no-op
+        finally:
+            deactivate(token)
+
+    def test_context_is_thread_local(self):
+        seen = []
+        token = activate("trace:1", "span:1")
+        try:
+            thread = threading.Thread(target=lambda: seen.append(current()))
+            thread.start()
+            thread.join()
+        finally:
+            deactivate(token)
+        assert seen == [None]
+
+
+class TestTracer:
+    def test_root_span_gets_fresh_trace(self, tracer):
+        tracer, collector, clock = tracer
+        with tracer.span("fault", name="obj:1"):
+            clock.t = 0.5
+        [span] = collector.spans()
+        assert span.kind == "fault"
+        assert span.name == "obj:1"
+        assert span.site == "S1"
+        assert span.parent_id is None
+        assert span.trace_id.startswith("trace:")
+        assert span.duration == pytest.approx(0.5)
+        assert span.status == "ok"
+
+    def test_nested_span_parents_and_shares_trace(self, tracer):
+        tracer, collector, _clock = tracer
+        with tracer.span("fault"):
+            outer = current()
+            with tracer.span("demand"):
+                inner = current()
+        assert outer is not None and inner is not None
+        assert outer[0] == inner[0]  # same trace
+        demand, fault = collector.spans()  # completion order: inner first
+        assert demand.kind == "demand"
+        assert demand.parent_id == fault.span_id
+        assert fault.parent_id is None
+        assert current() is None
+
+    def test_span_under_foreign_context_adopts_it(self, tracer):
+        tracer, collector, _clock = tracer
+        token = activate("trace:wire", "span:wire")
+        try:
+            with tracer.span("rmi.serve"):
+                pass
+        finally:
+            deactivate(token)
+        [span] = collector.spans()
+        assert span.trace_id == "trace:wire"
+        assert span.parent_id == "span:wire"
+
+    def test_set_and_annotate_reach_the_live_span(self, tracer):
+        tracer, collector, _clock = tracer
+        with tracer.span("fault", seed=1) as span:
+            span.set(direct=2)
+            annotate(ambient=3)  # how low layers (tcp pool) tag the span
+        [recorded] = collector.spans()
+        assert recorded.attributes == {"seed": 1, "direct": 2, "ambient": 3}
+
+    def test_exception_marks_error_and_propagates(self, tracer):
+        tracer, collector, _clock = tracer
+        with pytest.raises(KeyError):
+            with tracer.span("fault"):
+                raise KeyError("missing")
+        [span] = collector.spans()
+        assert span.status == "error"
+        assert span.attributes["error"] == "KeyError"
+        assert current() is None
+
+    def test_sibling_spans_order_by_seq(self, tracer):
+        tracer, collector, _clock = tracer
+        with tracer.span("replicate"):
+            with tracer.span("rmi.invoke"):
+                pass
+            with tracer.span("integrate"):
+                pass
+        invoke, integrate, _replicate = collector.spans()
+        assert invoke.seq < integrate.seq  # zero-cost clock ties break on seq

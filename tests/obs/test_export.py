@@ -1,0 +1,99 @@
+"""Exporters: JSONL round-trip and Chrome trace_event structure."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import chrome_trace, from_jsonl, to_chrome_json, to_jsonl
+from repro.obs.spans import Span, next_seq
+
+
+def make_spans() -> list[Span]:
+    return [
+        Span(
+            trace_id="trace:t",
+            span_id="span:1",
+            parent_id=None,
+            kind="fault",
+            name="obj:1",
+            site="S1",
+            start=0.001,
+            duration=0.004,
+            attributes={"local_hit": False},
+            seq=next_seq(),
+        ),
+        Span(
+            trace_id="trace:t",
+            span_id="span:2",
+            parent_id="span:1",
+            kind="rmi.serve",
+            name="demand",
+            site="S2",
+            start=0.002,
+            duration=0.002,
+            status="error",
+            attributes={"error": "KeyError"},
+            seq=next_seq(),
+        ),
+    ]
+
+
+class TestJsonl:
+    def test_one_object_per_line(self):
+        text = to_jsonl(make_spans())
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["kind"] == "fault"
+
+    def test_round_trip_preserves_everything_observable(self):
+        original = make_spans()
+        restored = from_jsonl(to_jsonl(original))
+        assert [s.jsonable() for s in restored] == [s.jsonable() for s in original]
+
+    def test_blank_lines_skipped(self):
+        text = to_jsonl(make_spans()) + "\n\n"
+        assert len(from_jsonl(text)) == 2
+
+    def test_non_json_attribute_values_stringified(self):
+        spans = make_spans()
+        spans[0].attributes["obj"] = object()
+        restored = from_jsonl(to_jsonl(spans))  # must not raise
+        assert isinstance(restored[0].attributes["obj"], str)
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        doc = chrome_trace(make_spans())
+        assert doc["displayTimeUnit"] == "ms"
+        metadata = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(metadata) == 2  # one process_name per site
+        assert len(complete) == 2
+        assert {m["args"]["name"] for m in metadata} == {"site S1", "site S2"}
+
+    def test_sites_get_stable_distinct_pids(self):
+        doc = chrome_trace(make_spans())
+        by_site = {
+            e["args"]["name"]: e["pid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert by_site == {"site S1": 1, "site S2": 2}
+
+    def test_event_carries_span_identity_in_microseconds(self):
+        doc = chrome_trace(make_spans())
+        event = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert event["name"] == "obj:1"
+        assert event["cat"] == "fault"
+        assert event["ts"] == 1000.0  # 0.001 s -> µs
+        assert event["dur"] == 4000.0
+        assert event["args"]["trace_id"] == "trace:t"
+        assert event["args"]["span_id"] == "span:1"
+        assert "parent_id" not in event["args"]  # roots omit it
+        child = doc["traceEvents"][-1]
+        assert child["args"]["parent_id"] == "span:1"
+        assert child["args"]["status"] == "error"
+
+    def test_to_chrome_json_is_valid_json(self):
+        doc = json.loads(to_chrome_json(make_spans()))
+        assert len(doc["traceEvents"]) == 4

@@ -1,0 +1,97 @@
+"""Protocol conformance at the span level.
+
+tests/integration/test_figure1_protocol.py pins the paper's Figure 1 to
+exact *frame* sequences; these tests pin the same operations to exact
+*span trees*.  Replication is lookup + get (one package build, one
+integrate); an object fault is demand + integrate + splice.  Any extra
+or missing span is a protocol regression, not a tracing detail.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interfaces import Incremental
+from repro.obs.assemble import assemble_traces, gather_spans
+from tests.models import Box, make_chain
+
+
+def tree(trace) -> list[tuple[int, str, str, str]]:
+    """The comparable view: (depth, kind, name, site) per span, DFS."""
+    return [(d, s.kind, s.name, s.site) for d, s in trace.walk()]
+
+
+@pytest.fixture
+def traced(zsites):
+    provider, consumer = zsites
+    return provider, consumer, provider.enable_tracing(), consumer.enable_tracing()
+
+
+def test_figure1_replicate_span_tree(traced):
+    provider, consumer, pc, cc = traced
+    provider.export(Box("v"), name="box")
+    consumer.replicate("box")
+
+    [trace] = assemble_traces(gather_spans(pc, cc))
+    [integrate] = trace.find(kind="integrate")
+    box_id = integrate.name  # the master's object id
+    assert tree(trace) == [
+        (0, "replicate", "box", "S1"),
+        (1, "rmi.invoke", "lookup", "S1"),
+        (2, "rmi.serve", "lookup", "S2"),
+        (1, "rmi.invoke", "get", "S1"),
+        (2, "rmi.serve", "get", "S2"),
+        (3, "build_package", "build_package", "S2"),
+        (1, "integrate", box_id, "S1"),
+    ]
+    [build] = trace.find(kind="build_package")
+    assert build.attributes["root"] == box_id
+
+
+def test_figure1_fault_span_tree(traced):
+    provider, consumer, pc, cc = traced
+    provider.export(make_chain(3), name="chain")
+    head = consumer.replicate("chain", mode=Incremental(1))
+    for collector in (pc, cc):
+        collector.drain()  # isolate the fault cascade
+
+    head.get_next().get_index()  # invoking through the frontier proxy faults
+
+    [trace] = assemble_traces(gather_spans(pc, cc))
+    target = trace.root.name
+    assert tree(trace) == [
+        (0, "fault", target, "S1"),
+        (1, "demand", target, "S1"),
+        (2, "rmi.invoke", "demand", "S1"),
+        (3, "rmi.serve", "demand", "S2"),
+        (4, "build_package", "build_package", "S2"),
+        (2, "integrate", target, "S1"),
+        (1, "splice", target, "S1"),
+    ]
+    # splice reports whether references were rewritten
+    [splice] = trace.find(kind="splice")
+    assert "rewritten" in splice.attributes
+
+
+def test_local_hit_fault_is_a_leaf(traced):
+    """A coalesced/already-resolved fault short-circuits: no demand."""
+    provider, consumer, pc, cc = traced
+    provider.export(make_chain(3), name="chain")
+    head = consumer.replicate("chain", mode=Incremental(2))
+    node = head.get_next()  # chunk of 2 came up front: no network fault
+    assert node.get_index() == 1
+    faults = [s for s in gather_spans(pc, cc) if s.kind == "fault"]
+    assert faults == []  # resolved replicas never enter the fault path
+
+
+def test_each_root_operation_is_its_own_trace(traced):
+    provider, consumer, pc, cc = traced
+    provider.export(make_chain(3), name="chain")
+    head = consumer.replicate("chain", mode=Incremental(1))
+    node = head.get_next()
+    assert node.get_index() == 1  # fault 1 resolves the frontier
+    assert node.get_next().get_index() == 2  # fault 2, next frontier
+
+    traces = assemble_traces(gather_spans(pc, cc))
+    assert [t.root.kind for t in traces] == ["replicate", "fault", "fault"]
+    assert len({t.trace_id for t in traces}) == 3

@@ -1,0 +1,189 @@
+"""SpanCollector counter semantics under concurrency.
+
+The collector sits on the fault path, which exists because resolution is
+concurrent — so, like ``FaultPathStats`` (tests/core/test_fault_stats.py),
+its bookkeeping must be exact: N recording threads must never lose a
+span, overflow drops must be counted one-for-one, and ``stats()`` must be
+mutually consistent.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.spans import DEFAULT_CAPACITY, Span, SpanCollector, next_seq
+
+THREADS = 8
+PER_THREAD = 300
+
+
+def make_span(index: int = 0, **overrides: object) -> Span:
+    fields: dict = dict(
+        trace_id="trace:t",
+        span_id=f"span:{index}",
+        parent_id=None,
+        kind="unit",
+        name=f"s{index}",
+        site="S1",
+        start=float(index),
+        seq=next_seq(),
+    )
+    fields.update(overrides)
+    return Span(**fields)
+
+
+def _hammer(worker, threads=THREADS):
+    barrier = threading.Barrier(threads)
+
+    def run():
+        barrier.wait()
+        worker()
+
+    pool = [threading.Thread(target=run) for _ in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+
+
+class TestSpanCollector:
+    def test_defaults(self):
+        collector = SpanCollector()
+        assert collector.capacity == DEFAULT_CAPACITY
+        assert collector.stats() == {
+            "recorded": 0,
+            "dropped": 0,
+            "held": 0,
+            "high_water": 0,
+        }
+        assert len(collector) == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SpanCollector(0)
+
+    def test_record_and_snapshot(self):
+        collector = SpanCollector()
+        first, second = make_span(1), make_span(2)
+        assert collector.record(first)
+        assert collector.record(second)
+        assert collector.spans() == [first, second]
+        assert collector.stats()["recorded"] == 2
+
+    def test_overflow_drops_newest_and_counts(self):
+        collector = SpanCollector(capacity=2)
+        kept = [make_span(1), make_span(2)]
+        for span in kept:
+            assert collector.record(span)
+        assert not collector.record(make_span(3))
+        assert collector.spans() == kept  # the cascade's head survives
+        assert collector.stats() == {
+            "recorded": 2,
+            "dropped": 1,
+            "held": 2,
+            "high_water": 2,
+        }
+
+    def test_drain_keeps_run_totals(self):
+        collector = SpanCollector(capacity=2)
+        collector.record(make_span(1))
+        collector.record(make_span(2))
+        collector.record(make_span(3))  # dropped
+        drained = collector.drain()
+        assert len(drained) == 2
+        assert collector.spans() == []
+        # recorded/dropped/high-water describe the whole run, not the buffer
+        assert collector.stats() == {
+            "recorded": 2,
+            "dropped": 1,
+            "held": 0,
+            "high_water": 2,
+        }
+        # space freed by the drain is usable again
+        assert collector.record(make_span(4))
+
+    def test_concurrent_records_are_exact(self):
+        collector = SpanCollector()
+
+        def worker():
+            for index in range(PER_THREAD):
+                collector.record(make_span(index))
+
+        _hammer(worker)
+        stats = collector.stats()
+        assert stats["recorded"] == THREADS * PER_THREAD
+        assert stats["dropped"] == 0
+        assert stats["held"] == THREADS * PER_THREAD
+        assert stats["high_water"] == THREADS * PER_THREAD
+
+    def test_concurrent_overflow_accounting_is_exact(self):
+        """recorded + dropped must equal attempts even when the capacity
+        boundary is crossed under contention."""
+        capacity = THREADS * PER_THREAD // 2
+        collector = SpanCollector(capacity=capacity)
+
+        def worker():
+            for index in range(PER_THREAD):
+                collector.record(make_span(index))
+
+        _hammer(worker)
+        stats = collector.stats()
+        assert stats["recorded"] == capacity
+        assert stats["dropped"] == THREADS * PER_THREAD - capacity
+        assert stats["held"] == capacity
+        assert stats["high_water"] == capacity
+
+    def test_no_span_lost_across_concurrent_drains(self):
+        """recorders + drainers in parallel: every recorded span lands
+        either in some drain's return or in the final residue."""
+        collector = SpanCollector()
+        harvested: list[Span] = []
+        harvested_lock = threading.Lock()
+
+        def recorder():
+            for index in range(PER_THREAD):
+                collector.record(make_span(index))
+
+        def drainer():
+            for _ in range(PER_THREAD // 3):
+                batch = collector.drain()
+                with harvested_lock:
+                    harvested.extend(batch)
+
+        barrier = threading.Barrier(THREADS + 2)
+        threads = [
+            *(
+                threading.Thread(target=lambda: (barrier.wait(), recorder()))
+                for _ in range(THREADS)
+            ),
+            *(
+                threading.Thread(target=lambda: (barrier.wait(), drainer()))
+                for _ in range(2)
+            ),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = len(harvested) + len(collector.spans())
+        assert total == THREADS * PER_THREAD
+        assert collector.stats()["recorded"] == THREADS * PER_THREAD
+
+
+class TestSpan:
+    def test_end_and_jsonable(self):
+        span = make_span(7, start=1.5, duration=0.25)
+        span.attributes["k"] = "v"
+        assert span.end == 1.75
+        view = span.jsonable()
+        assert view["span_id"] == "span:7"
+        assert view["attributes"] == {"k": "v"}
+        # jsonable copies the dict — mutating it must not touch the span
+        view["attributes"]["x"] = 1
+        assert "x" not in span.attributes
+
+    def test_seq_is_monotonic(self):
+        assert next_seq() < next_seq() < next_seq()

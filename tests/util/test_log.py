@@ -85,3 +85,26 @@ def test_ring_capacity(zsites):
         for _ in range(20):
             consumer.put_back(replica)
         assert len(log) == 5
+
+
+def test_lines_carry_trace_context_when_tracing(zsites):
+    provider, consumer = zsites
+    collector = consumer.enable_tracing()
+    provider.export(make_chain(3), name="chain-log")
+    with SiteLogger(consumer) as log:
+        head = consumer.replicate("chain-log")
+        head.get_next().get_index()
+
+    [fault_line] = log.matching("fault")
+    [fault_span] = [s for s in collector.spans() if s.kind == "fault"]
+    # the suffix is the active [trace_id/span_id] — grep-joins with exports
+    assert f"[{fault_span.trace_id}/" in fault_line
+    assert fault_span.trace_id.startswith("trace:")
+
+
+def test_lines_plain_without_tracing(zsites):
+    provider, consumer = zsites
+    with SiteLogger(consumer) as log:
+        provider.export(Counter(0), name="c-notrace")
+        consumer.replicate("c-notrace")
+    assert not any("[trace:" in line for line in log.lines)
