@@ -1,0 +1,47 @@
+"""PR-6 bench smoke: the striped runtime must beat the single lock.
+
+Races the pre-striping runtime (``stripes=1, snapshot_reads=False`` —
+one reentrant lock around every table access) against the striped one
+(``stripes=32``, lock-free snapshot reads) on the fault path's operation
+mix at 16/32/64 threads.  The acceptance claim is a >= 2x wall-clock win
+at 32 threads.  Records ``BENCH_pr6.json`` at the repo root when
+``OBIWAN_BENCH_RECORD`` is set (the CI bench-smoke job does).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.bench.lock_contention import lock_contention_report
+
+
+def test_lock_contention_smoke(once):
+    report = once(lock_contention_report)
+
+    assert {p.threads for p in report.points} == {16, 32, 64}
+    for point in report.points:
+        # Striping never loses, at any thread count.
+        assert point.speedup > 1.0, (
+            f"striped runtime slower than single lock at {point.threads} threads"
+        )
+        # The single lock is the one convoying: contended acquires on the
+        # striped runtime stay well below the baseline's.
+        assert point.striped_waits < point.baseline_waits
+
+    # The acceptance bar: >= 2x at 32 fault threads.
+    assert report.point(32).speedup >= 2.0
+
+    print("\nPR-6 lock contention (baseline = single lock, no snapshot reads):")
+    for point in report.points:
+        print(
+            f"  {point.threads:>3} threads  baseline {point.baseline_ms:8.1f} ms"
+            f"  striped {point.striped_ms:8.1f} ms  speedup {point.speedup:.2f}x"
+            f"  (waits {point.baseline_waits} -> {point.striped_waits})"
+        )
+
+    if os.environ.get("OBIWAN_BENCH_RECORD"):
+        target = Path(__file__).resolve().parent.parent / "BENCH_pr6.json"
+        target.write_text(
+            json.dumps(report.jsonable(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"  recorded {target}")

@@ -69,6 +69,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids/names to skip",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parse and run per-module rules over N worker threads (default: 1)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
     )
     parser.add_argument(
@@ -117,11 +124,16 @@ def _run(argv: Sequence[str] | None) -> int:
         )
         return 2
 
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+
     analyzer = Analyzer(
         rules,
         select=_split(args.select) or None,
         ignore=_split(args.ignore) or None,
         strict=args.strict,
+        jobs=args.jobs,
     )
     try:
         report = analyzer.run(args.paths)

@@ -136,3 +136,10 @@ AMBIENT_CLOCK_MODULE_SUFFIXES: frozenset[str] = frozenset(
 NETWORK_SEND_METHODS: frozenset[str] = frozenset(
     {"send", "sendall", "sendto", "call", "cast", "invoke", "invoke_oneway", "_transmit"}
 )
+
+#: Decorator names that declare a method a lock-free snapshot read
+#: (``repro.core.striping.snapshot_read``).  The flow layer keys on the
+#: declaration: OBI203/OBI207 exempt the unlocked *reads*, and OBI209
+#: enforces that no path out of a declared snapshot read mutates
+#: guarded state.
+SNAPSHOT_READ_DECORATORS: frozenset[str] = frozenset({"snapshot_read"})

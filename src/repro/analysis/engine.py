@@ -5,11 +5,19 @@ parsed :class:`ModuleSource` to every selected rule, filter the findings
 through the module's suppression comments, and collate a report.  All
 policy (which severities fail the run) lives in the report so the CLI
 and CI can share it.
+
+With ``jobs > 1`` the per-file unit (parse + module rules) fans out over
+a thread pool; results are collated in input order, so the report is
+byte-identical to a serial run.  Module rules hold no mutable state
+during :meth:`~repro.analysis.findings.Rule.check` (configuration is
+frozen in ``__init__``), which is what makes sharing the catalog across
+workers sound.  Project rules need every module at once and stay serial.
 """
 
 from __future__ import annotations
 
 import ast
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -86,6 +94,7 @@ class Analyzer:
         select: set[str] | None = None,
         ignore: set[str] | None = None,
         strict: bool = False,
+        jobs: int = 1,
     ):
         chosen = rules
         if select:
@@ -96,6 +105,9 @@ class Analyzer:
             chosen = [r for r in chosen if r.id not in keys and r.name not in keys]
         self.rules = chosen
         self.strict = strict
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
 
     # ------------------------------------------------------------------
     # file collection
@@ -134,32 +146,22 @@ class Analyzer:
         modules: list[ModuleSource] = []
         module_rules = [r for r in self.rules if not isinstance(r, ProjectRule)]
         project_rules = [r for r in self.rules if isinstance(r, ProjectRule)]
-        for path in files:
-            try:
-                module = ModuleSource.parse(path)
-            except (SyntaxError, UnicodeDecodeError) as exc:
-                line = getattr(exc, "lineno", 1) or 1
-                parse_failures.append(
-                    Finding(
-                        rule="OBI001",
-                        name="parse-error",
-                        severity=Severity.ERROR,
-                        path=str(path),
-                        line=line,
-                        col=1,
-                        message=f"cannot parse: {exc.msg if isinstance(exc, SyntaxError) else exc}",
-                    )
+        if self.jobs > 1 and len(files) > 1:
+            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                # pool.map preserves input order, so collation below is
+                # deterministic no matter how the workers interleave.
+                results = list(
+                    pool.map(lambda path: self._analyze_file(path, module_rules), files)
                 )
+        else:
+            results = [self._analyze_file(path, module_rules) for path in files]
+        for module, failure, file_findings, file_suppressed in results:
+            if failure is not None:
+                parse_failures.append(failure)
                 continue
             modules.append(module)
-            for rule in module_rules:
-                for finding in rule.check(module):
-                    if module.suppressions.matches(finding.rule, finding.name, finding.line):
-                        suppressed.append(finding)
-                    else:
-                        findings.append(finding)
-            if self.strict:
-                findings.extend(self._bare_suppressions(module))
+            findings.extend(file_findings)
+            suppressed.extend(file_suppressed)
         if project_rules and modules:
             by_path = {module.display_path: module for module in modules}
             cache: dict = {}
@@ -179,6 +181,36 @@ class Analyzer:
             parse_failures=parse_failures,
         )
         return report
+
+    def _analyze_file(
+        self, path: Path, module_rules: list[Rule]
+    ) -> tuple[ModuleSource | None, Finding | None, list[Finding], list[Finding]]:
+        """The per-file unit a ``--jobs`` worker runs: parse + module rules."""
+        try:
+            module = ModuleSource.parse(path)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            failure = Finding(
+                rule="OBI001",
+                name="parse-error",
+                severity=Severity.ERROR,
+                path=str(path),
+                line=line,
+                col=1,
+                message=f"cannot parse: {exc.msg if isinstance(exc, SyntaxError) else exc}",
+            )
+            return None, failure, [], []
+        findings: list[Finding] = []
+        suppressed: list[Finding] = []
+        for rule in module_rules:
+            for finding in rule.check(module):
+                if module.suppressions.matches(finding.rule, finding.name, finding.line):
+                    suppressed.append(finding)
+                else:
+                    findings.append(finding)
+        if self.strict:
+            findings.extend(self._bare_suppressions(module))
+        return module, None, findings, suppressed
 
     @staticmethod
     def _bare_suppressions(module: ModuleSource) -> list[Finding]:
@@ -210,6 +242,7 @@ def analyze_paths(
     select: set[str] | None = None,
     ignore: set[str] | None = None,
     strict: bool = False,
+    jobs: int = 1,
 ) -> AnalysisReport:
     """Convenience wrapper: run the default catalog over ``paths``."""
     from repro.analysis.rules import build_rules
@@ -219,5 +252,6 @@ def analyze_paths(
         select=select,
         ignore=ignore,
         strict=strict,
+        jobs=jobs,
     )
     return analyzer.run(paths)

@@ -183,10 +183,15 @@ class _Resolver:
                 info = self.symtab.module_functions.get((path, func_name))
                 if info is not None:
                     return [info]
-        # Unique-name fallback for unknown receivers.
+        # Unique-name fallback for unknown receivers.  Owners are keyed by
+        # (module, class): two same-named classes in different modules are
+        # different receivers, and merging their methods would fuse
+        # call-graph edges (and lock contexts) that never meet at runtime.
         if method not in AMBIGUOUS_METHOD_NAMES:
             candidates = self.symtab.methods_by_name.get(method, [])
-            owning = {info.class_name for info in candidates}
+            owning = {
+                (info.module.display_path, info.class_name) for info in candidates
+            }
             if len(owning) == 1 and candidates:
                 return list(candidates)
         return []

@@ -73,8 +73,12 @@ class GuardedStateAnalysis:
             if summary is None:
                 continue
             for access in summary.accesses:
-                if access.attr in cls.lock_attrs:
+                if access.attr in cls.lock_attrs or access.attr in cls.lock_families:
                     continue
+                if access.attr in cls.stripe_tables:
+                    continue  # stripe-key discipline is OBI207's job
+                if access.kind == "read" and func.snapshot_read:
+                    continue  # declared lock-free read (OBI209 owns writes)
                 held = self.locks.effective_held(func, access.held) & own_locks
                 accesses.setdefault(access.attr, []).append(
                     (access.kind, func, access.node, held)

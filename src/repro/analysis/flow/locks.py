@@ -32,6 +32,7 @@ instances.
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -41,6 +42,7 @@ from repro.analysis.flow.symbols import (
     FunctionInfo,
     SymbolTable,
     _is_lock_factory_call,
+    _looks_lock_like,
 )
 from repro.analysis.visitor import dotted_name, resolve_call_name
 
@@ -72,6 +74,10 @@ class Acquire:
     lock: str
     held: tuple[str, ...]
     node: ast.AST
+    #: The acquire's stripe key is a loop variable of an ascending
+    #: ``for k in range(...)`` / ``for k in sorted(...)`` — multi-stripe
+    #: acquisition in index order (see OBI208).
+    ordered: bool = False
 
 
 @dataclass
@@ -93,6 +99,9 @@ class Access:
     kind: str  # "read" | "write"
     node: ast.AST
     held: tuple[str, ...]
+    #: Canonical subscript key for ``self.attr[key]`` accesses — the
+    #: stripe-key expression OBI207 matches against held family locks.
+    subscript_key: str | None = None
 
 
 @dataclass
@@ -102,6 +111,10 @@ class FunctionSummary:
     calls: list[LocalCall] = field(default_factory=list)
     blocking: list[Blocking] = field(default_factory=list)
     accesses: list[Access] = field(default_factory=list)
+    #: Variable → (group, rank) from ``lo, hi = sorted((i, j))`` unpacks:
+    #: within one group, a smaller rank is provably ≤ a larger one, so
+    #: acquiring family locks in rank order ascends by stripe index.
+    sorted_ranks: dict[str, tuple[int, int]] = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -115,10 +128,14 @@ class _Walker:
         self.summary = FunctionSummary(func=func)
         self.self_name = _self_arg(func)
         self.module_locks = _module_lock_names(symtab, func.module)
-        #: Attribute nodes already folded into a composite access (a
-        #: mutator call, subscript store, or augmented assignment) — the
-        #: plain-attribute branch must not report them again.
+        #: Attribute/subscript nodes already folded into a composite
+        #: access (a mutator call, subscript store, or augmented
+        #: assignment) — the plain branches must not report them again.
         self._claimed: set[int] = set()
+        #: Loop variables of ascending ``for k in range/sorted(...)``
+        #: loops currently in scope — acquires keyed by them are ordered.
+        self._ordered_vars: set[str] = set()
+        self._sorted_groups = 0
 
     def walk(self) -> FunctionSummary:
         self._visit_block(self.func.node, ())
@@ -134,12 +151,24 @@ class _Walker:
                     lock = self.lock_id(item.context_expr)
                     if lock is not None:
                         self.summary.acquires.append(
-                            Acquire(lock=lock, held=held, node=child)
+                            Acquire(
+                                lock=lock,
+                                held=held,
+                                node=child,
+                                ordered=self._is_ordered_acquire(item.context_expr),
+                            )
                         )
                         acquired.append(lock)
                     else:
                         self._visit_expr(item.context_expr, held)
                 self._visit_block(child, held + tuple(acquired))
+                continue
+            if isinstance(child, ast.For):
+                saved = set(self._ordered_vars)
+                if _is_ascending_loop(child):
+                    self._ordered_vars.add(child.target.id)
+                self._visit_block(child, held)
+                self._ordered_vars = saved
                 continue
             self._visit_expr(child, held)
             self._visit_block(child, held)
@@ -159,14 +188,53 @@ class _Walker:
                     Access(attr=attr, kind=kind, node=node, held=held)
                 )
         elif isinstance(node, ast.Subscript):
-            # self.x[k] = v parses as Subscript(Store) over Attribute(Load).
+            if id(node) in self._claimed:
+                return
+            # self.x[k] = v parses as Subscript(Store) over Attribute(Load);
+            # self.x[i][k] = v nests a second Subscript — there the *inner*
+            # index picks the stripe, so that key is the one recorded.
             if isinstance(node.ctx, ast.Store | ast.Del):
                 attr = self._self_attr(node.value)
                 if attr is not None:
                     self._claimed.add(id(node.value))
                     self.summary.accesses.append(
-                        Access(attr=attr, kind="write", node=node, held=held)
+                        Access(
+                            attr=attr,
+                            kind="write",
+                            node=node,
+                            held=held,
+                            subscript_key=self._canon_key(node.slice),
+                        )
                     )
+                    return
+                inner = node.value
+                if isinstance(inner, ast.Subscript):
+                    attr = self._self_attr(inner.value)
+                    if attr is not None:
+                        self._claimed.add(id(inner))
+                        self._claimed.add(id(inner.value))
+                        self.summary.accesses.append(
+                            Access(
+                                attr=attr,
+                                kind="write",
+                                node=node,
+                                held=held,
+                                subscript_key=self._canon_key(inner.slice),
+                            )
+                        )
+                return
+            attr = self._self_attr(node.value)
+            if attr is not None:
+                self._claimed.add(id(node.value))
+                self.summary.accesses.append(
+                    Access(
+                        attr=attr,
+                        kind="read",
+                        node=node,
+                        held=held,
+                        subscript_key=self._canon_key(node.slice),
+                    )
+                )
         elif isinstance(node, ast.AugAssign):
             attr = self._self_attr(node.target)
             if attr is not None:
@@ -174,20 +242,65 @@ class _Walker:
                 self.summary.accesses.append(
                     Access(attr=attr, kind="write", node=node, held=held)
                 )
+        elif isinstance(node, ast.Assign):
+            self._record_sorted_unpack(node)
 
     def _record_mutator_call(self, node: ast.Call, held: tuple[str, ...]) -> None:
-        """``self.x.append(...)`` and friends are writes to ``self.x``."""
+        """``self.x.append(...)`` and friends are writes to ``self.x`` —
+        including the striped form ``self.x[i].setdefault(...)``."""
         func_expr = node.func
         if not isinstance(func_expr, ast.Attribute):
             return
         if func_expr.attr not in MUTATING_METHODS:
             return
-        attr = self._self_attr(func_expr.value)
+        receiver = func_expr.value
+        attr = self._self_attr(receiver)
         if attr is not None:
-            self._claimed.add(id(func_expr.value))
+            self._claimed.add(id(receiver))
             self.summary.accesses.append(
                 Access(attr=attr, kind="write", node=node, held=held)
             )
+            return
+        if isinstance(receiver, ast.Subscript):
+            attr = self._self_attr(receiver.value)
+            if attr is not None:
+                self._claimed.add(id(receiver))
+                self._claimed.add(id(receiver.value))
+                self.summary.accesses.append(
+                    Access(
+                        attr=attr,
+                        kind="write",
+                        node=node,
+                        held=held,
+                        subscript_key=self._canon_key(receiver.slice),
+                    )
+                )
+
+    def _record_sorted_unpack(self, node: ast.Assign) -> None:
+        """``lo, hi = sorted((i, j))`` proves ``lo <= hi`` — record ranks."""
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Tuple):
+            return
+        value = node.value
+        if not (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "sorted"
+        ):
+            return
+        elts = node.targets[0].elts
+        if not all(isinstance(elt, ast.Name) for elt in elts):
+            return
+        group = self._sorted_groups
+        self._sorted_groups += 1
+        for rank, elt in enumerate(elts):
+            self.summary.sorted_ranks[elt.id] = (group, rank)
+
+    def _is_ordered_acquire(self, expr: ast.expr) -> bool:
+        return (
+            isinstance(expr, ast.Subscript)
+            and isinstance(expr.slice, ast.Name)
+            and expr.slice.id in self._ordered_vars
+        )
 
     def _self_attr(self, node: ast.AST) -> str | None:
         if (
@@ -210,7 +323,17 @@ class _Walker:
 
     # ------------------------------------------------------------------
     def lock_id(self, expr: ast.expr) -> str | None:
-        """Class- or module-qualified identity of a lock expression."""
+        """Class- or module-qualified identity of a lock expression.
+
+        ``self._stripe_locks[idx]`` — one member of a lock *family* —
+        gets a key-qualified identity ``Cls._stripe_locks[idx]``.  Keys
+        are canonical source text (frame-local): two acquisitions match
+        only when their key expressions read the same, which is why
+        helpers taking a stripe index should call the parameter ``idx``
+        like their callers do.
+        """
+        if isinstance(expr, ast.Subscript):
+            return self._family_lock_id(expr)
         name = dotted_name(expr)
         if name is None:
             return None
@@ -251,10 +374,42 @@ class _Walker:
             return f"?{self.func.qualname}.{name}"
         return None
 
+    def _family_lock_id(self, expr: ast.Subscript) -> str | None:
+        """``self.<family>[key]`` → ``Cls.<family>[<canonical key>]``."""
+        attr = self._self_attr(expr.value)
+        owner = self.func.class_name
+        if attr is None or owner is None:
+            return None
+        key = self._canon_key(expr.slice)
+        for cls in self.symtab.class_named(owner):
+            if attr in cls.lock_families:
+                return f"{owner}.{attr}[{key}]"
+        if _looks_lock_like(attr):
+            return f"{owner}.{attr}[{key}]"
+        return None
 
-def _looks_lock_like(tail: str) -> bool:
-    lowered = tail.lower()
-    return "lock" in lowered or "mutex" in lowered
+    def _canon_key(self, slice_expr: ast.expr) -> str:
+        """Canonical source text of a subscript key.
+
+        The only normalization is the self parameter's name — so a
+        method using ``s`` instead of ``self`` still produces keys that
+        match across methods.  Everything else is textual: key matching
+        is deliberately frame-local.
+        """
+        key = ast.unparse(slice_expr)
+        if self.self_name is not None and self.self_name != "self":
+            key = re.sub(rf"\b{re.escape(self.self_name)}\b", "self", key)
+        return key
+
+
+def _is_ascending_loop(node: ast.For) -> bool:
+    """``for k in range(...)`` / ``for k in sorted(...)`` — k ascends."""
+    return (
+        isinstance(node.target, ast.Name)
+        and isinstance(node.iter, ast.Call)
+        and isinstance(node.iter.func, ast.Name)
+        and node.iter.func.id in {"range", "sorted"}
+    )
 
 
 def _self_arg(func: FunctionInfo) -> str | None:

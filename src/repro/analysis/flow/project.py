@@ -15,6 +15,7 @@ from repro.analysis.flow.callgraph import CallGraph
 from repro.analysis.flow.guarded import GuardedStateAnalysis
 from repro.analysis.flow.locks import LockAnalysis
 from repro.analysis.flow.protocol import ProtocolAnalysis
+from repro.analysis.flow.stripes import StripeAnalysis
 from repro.analysis.flow.symbols import SymbolTable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -33,6 +34,7 @@ class Project:
         self._locks: LockAnalysis | None = None
         self._guarded: GuardedStateAnalysis | None = None
         self._protocol: ProtocolAnalysis | None = None
+        self._stripes: StripeAnalysis | None = None
 
     @classmethod
     def of(cls, modules: list["ModuleSource"], cache: dict) -> "Project":
@@ -71,3 +73,11 @@ class Project:
         if self._protocol is None:
             self._protocol = ProtocolAnalysis(self.symtab, self.graph)
         return self._protocol
+
+    @property
+    def stripes(self) -> StripeAnalysis:
+        if self._stripes is None:
+            self._stripes = StripeAnalysis(
+                self.symtab, self.graph, self.locks, self.guarded
+            )
+        return self._stripes

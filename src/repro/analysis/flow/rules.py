@@ -1,4 +1,4 @@
-"""The flow rules: OBI201–OBI206.
+"""The flow rules: OBI201–OBI209.
 
 Each rule is a thin adapter from one flow analysis to findings — the
 heavy lifting lives in :mod:`~repro.analysis.flow.locks`,
@@ -213,6 +213,97 @@ class SpliceEscapeRule(_FlowRule):
                 f"replica '{escape.splice.replica_name}' {escape.how} before "
                 f"splice at line {escape.splice.node.lineno} completed — "
                 "demanders may still reference the proxy",
+            )
+
+
+class StripeKeyMismatchRule(_FlowRule):
+    """OBI207: a striped-table access without its own stripe's lock."""
+
+    id = "OBI207"
+    name = "stripe-key-mismatch"
+    description = "stripe-partitioned table accessed without the matching stripe lock"
+    rationale = (
+        "A striped table's shard i is owned by stripe lock i.  Holding "
+        "stripe j's lock — or none — while touching shard i is exactly "
+        "the race the old global lock prevented, hidden behind a lock "
+        "that LOOKS held.  The key expressions must match."
+    )
+
+    def check_flow(self, project: Project) -> Iterator[Finding]:
+        for mismatch in project.stripes.key_mismatches:
+            if mismatch.key is None:
+                detail = (
+                    "accessed whole-table with no stripe lock of "
+                    f"{mismatch.family} held"
+                )
+            elif mismatch.held_keys:
+                held = ", ".join(f"[{key}]" for key in mismatch.held_keys)
+                detail = (
+                    f"accessed with key [{mismatch.key}] while holding "
+                    f"{mismatch.family}{held} — keys do not match"
+                )
+            else:
+                detail = (
+                    f"accessed with key [{mismatch.key}] while holding no "
+                    f"stripe lock of {mismatch.family}"
+                )
+            yield self.flow_finding(
+                mismatch.func.module,
+                mismatch.node,
+                f"{mismatch.cls.name}.{mismatch.attr} is stripe-partitioned "
+                f"under {mismatch.family} but {detail} in "
+                f"{mismatch.func.qualname}()",
+            )
+
+
+class StripeOrderRule(_FlowRule):
+    """OBI208: multi-stripe acquisitions must ascend by stripe index."""
+
+    id = "OBI208"
+    name = "stripe-order"
+    description = "a second stripe lock taken without an ascending-index proof"
+    rationale = (
+        "Two threads nesting stripes i-then-j and j-then-i deadlock the "
+        "same way two named locks do (OBI201), but the conflict hides "
+        "inside one family.  Ascending by index — a range/sorted loop, "
+        "or a lo/hi = sorted((i, j)) unpack — makes the order total."
+    )
+
+    def check_flow(self, project: Project) -> Iterator[Finding]:
+        for violation in project.stripes.order_violations:
+            yield self.flow_finding(
+                violation.func.module,
+                violation.node,
+                f"{violation.family}[{violation.acquired_key}] taken while "
+                f"holding {violation.family}[{violation.held_key}] in "
+                f"{violation.func.qualname}() without an ascending-index "
+                "proof (iterate stripes via range()/sorted(), or unpack "
+                "lo, hi = sorted((i, j)) and lock lo first)",
+            )
+
+
+class SnapshotReadMutationRule(_FlowRule):
+    """OBI209: a declared snapshot read reaches a guarded-state write."""
+
+    id = "OBI209"
+    name = "snapshot-read-mutation"
+    description = "a @snapshot_read path mutates lock-guarded or striped state"
+    rationale = (
+        "@snapshot_read buys lock-free reads by promising read-only "
+        "behaviour; a write on any path out of one runs unsynchronized "
+        "against every locked writer — the declaration exempted exactly "
+        "the discipline that would have caught it."
+    )
+
+    def check_flow(self, project: Project) -> Iterator[Finding]:
+        for mutation in project.stripes.snapshot_mutations:
+            path = " -> ".join(mutation.chain)
+            yield self.flow_finding(
+                mutation.writer.module,
+                mutation.node,
+                f"{mutation.attr} is written on a path out of snapshot read "
+                f"{mutation.reader.qualname}(): {path} — declared lock-free "
+                "reads must not mutate guarded state",
             )
 
 

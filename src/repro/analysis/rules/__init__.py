@@ -13,7 +13,10 @@ from repro.analysis.flow.rules import (
     DemandOutsideFaultPathRule,
     LockOrderCycleRule,
     PutWithoutSourceRule,
+    SnapshotReadMutationRule,
     SpliceEscapeRule,
+    StripeKeyMismatchRule,
+    StripeOrderRule,
     UnguardedStateRule,
 )
 from repro.analysis.rules.compiled import (
@@ -45,6 +48,9 @@ def build_rules() -> list[Rule]:
         PutWithoutSourceRule(),
         DemandOutsideFaultPathRule(),
         SpliceEscapeRule(),
+        StripeKeyMismatchRule(),
+        StripeOrderRule(),
+        SnapshotReadMutationRule(),
     ]
 
 

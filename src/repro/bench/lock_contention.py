@@ -1,0 +1,223 @@
+"""PR-6 experiment: what does striping buy the fault path under threads?
+
+The workload hammers one site's object tables from many threads with the
+fault path's own operation mix — mostly hot lookups (``version_of``,
+``local_object_for``), a slice of demand begin/finish cycles, and a
+slice of master-version bumps.  Two runtime configurations race:
+
+* **baseline** — ``stripes=1, snapshot_reads=False``: every operation
+  funnels through one reentrant lock, reproducing the pre-striping
+  ``Site._lock`` runtime exactly;
+* **striped** — ``stripes=N, snapshot_reads=True``: reads take no lock
+  at all, writes spread over N oid-hashed stripe locks.
+
+Even under the GIL the single lock hurts: a thread preempted inside the
+critical section convoys every other thread onto a blocking acquire —
+park, unpark, GIL handoff — while the striped runtime's reads never
+touch a lock and its writes almost never collide.  The acceptance claim
+is a >= 2x wall-clock win at 32 threads.
+
+Per-thread operation sequences are precomputed from seeded
+``random.Random`` instances, so both configurations replay the identical
+workload and the only variable is the locking regime.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.bench.workloads import PayloadNode
+from repro.core.meta import obi_id_of
+from repro.core.runtime import World
+
+DEFAULT_THREAD_COUNTS = (16, 32, 64)
+DEFAULT_OBJECTS = 512
+DEFAULT_OPS_PER_THREAD = 2000
+DEFAULT_STRIPES = 32
+DEFAULT_REPEATS = 2
+#: Operation mix: fraction of reads, demand cycles, version bumps.
+READ_FRACTION = 0.9
+DEMAND_FRACTION = 0.05
+SEED = 0x0B1
+#: Interpreter switch interval during the timed region.  The default
+#: 5 ms lets one GIL slice span hundreds of operations, hiding the
+#: single-lock convoy that real multicore preemption exposes; 0.5 ms
+#: restores preemption pressure while charging both configurations the
+#: same GIL-handoff cost.
+SWITCH_INTERVAL = 0.0005
+
+
+@dataclass(frozen=True, slots=True)
+class ContentionPoint:
+    """Baseline-vs-striped wall clock at one thread count."""
+
+    threads: int
+    baseline_ms: float
+    striped_ms: float
+    speedup: float
+    #: Contended stripe-lock acquires each configuration suffered.
+    baseline_waits: int
+    striped_waits: int
+
+
+@dataclass(frozen=True, slots=True)
+class ContentionReport:
+    """The PR-6 acceptance numbers."""
+
+    objects: int
+    ops_per_thread: int
+    stripes: int
+    repeats: int
+    points: tuple[ContentionPoint, ...]
+
+    def point(self, threads: int) -> ContentionPoint:
+        for point in self.points:
+            if point.threads == threads:
+                return point
+        raise KeyError(f"no {threads}-thread point in this report")
+
+    def jsonable(self) -> dict:
+        return {
+            "experiment": "lock_contention",
+            "objects": self.objects,
+            "ops_per_thread": self.ops_per_thread,
+            "stripes": self.stripes,
+            "repeats": self.repeats,
+            "read_fraction": READ_FRACTION,
+            "demand_fraction": DEMAND_FRACTION,
+            "points": [
+                {
+                    "threads": p.threads,
+                    "baseline_ms": round(p.baseline_ms, 3),
+                    "striped_ms": round(p.striped_ms, 3),
+                    "speedup": round(p.speedup, 3),
+                    "baseline_waits": p.baseline_waits,
+                    "striped_waits": p.striped_waits,
+                }
+                for p in self.points
+            ],
+        }
+
+
+def _make_plan(threads: int, objects: int, ops_per_thread: int) -> list[list[tuple[str, int]]]:
+    """Per-thread operation sequences, identical for both configurations."""
+    plans = []
+    for t in range(threads):
+        rng = random.Random(SEED + t)
+        ops = []
+        for _ in range(ops_per_thread):
+            roll = rng.random()
+            target = rng.randrange(objects)
+            if roll < READ_FRACTION:
+                ops.append(("read", target))
+            elif roll < READ_FRACTION + DEMAND_FRACTION:
+                ops.append(("demand", target))
+            else:
+                ops.append(("bump", target))
+        plans.append(ops)
+    return plans
+
+
+def _run_config(
+    threads: int,
+    plans: list[list[tuple[str, int]]],
+    *,
+    stripes: int,
+    snapshot_reads: bool,
+    objects: int,
+) -> tuple[float, int]:
+    """One timed run; returns (wall ms, contended acquires)."""
+    with World.threaded() as world:
+        site = world.create_site(
+            "bench", stripes=stripes, snapshot_reads=snapshot_reads
+        )
+        nodes = [PayloadNode(index=i) for i in range(objects)]
+        oids = [obi_id_of(node) for node in nodes]
+        for node in nodes:
+            site.note_master(node)
+
+        barrier = threading.Barrier(threads + 1)
+
+        def worker(plan):
+            barrier.wait()
+            for kind, target in plan:
+                oid = oids[target]
+                if kind == "read":
+                    site.version_of(nodes[target])
+                    site.local_object_for(oid)
+                    site.is_master(oid)
+                    site.master_object_for(oid)
+                elif kind == "demand":
+                    leader, handle = site.begin_demand(oid)
+                    if leader:
+                        site.finish_demand(oid, handle, result=None)
+                else:
+                    site.bump_master_version(oid)
+
+        pool = [
+            threading.Thread(target=worker, args=(plans[t],))
+            for t in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        previous_interval = sys.getswitchinterval()
+        sys.setswitchinterval(SWITCH_INTERVAL)
+        try:
+            barrier.wait()
+            start = time.perf_counter()  # obilint: disable=OBI108 -- wall-clock benchmark measurement
+            for thread in pool:
+                thread.join()
+            elapsed = time.perf_counter() - start  # obilint: disable=OBI108 -- wall-clock benchmark measurement
+        finally:
+            sys.setswitchinterval(previous_interval)
+        return elapsed * 1000.0, site.stripe_metrics()["acquire_waits"]
+
+
+def lock_contention_report(
+    *,
+    thread_counts: tuple[int, ...] = DEFAULT_THREAD_COUNTS,
+    objects: int = DEFAULT_OBJECTS,
+    ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+    stripes: int = DEFAULT_STRIPES,
+    repeats: int = DEFAULT_REPEATS,
+) -> ContentionReport:
+    """Race the two runtimes across ``thread_counts``; best-of-``repeats``."""
+    points = []
+    for threads in thread_counts:
+        plans = _make_plan(threads, objects, ops_per_thread)
+        baseline_ms = float("inf")
+        striped_ms = float("inf")
+        baseline_waits = 0
+        striped_waits = 0
+        for _ in range(repeats):
+            ms, waits = _run_config(
+                threads, plans, stripes=1, snapshot_reads=False, objects=objects
+            )
+            if ms < baseline_ms:
+                baseline_ms, baseline_waits = ms, waits
+            ms, waits = _run_config(
+                threads, plans, stripes=stripes, snapshot_reads=True, objects=objects
+            )
+            if ms < striped_ms:
+                striped_ms, striped_waits = ms, waits
+        points.append(
+            ContentionPoint(
+                threads=threads,
+                baseline_ms=baseline_ms,
+                striped_ms=striped_ms,
+                speedup=baseline_ms / striped_ms if striped_ms else float("inf"),
+                baseline_waits=baseline_waits,
+                striped_waits=striped_waits,
+            )
+        )
+    return ContentionReport(
+        objects=objects,
+        ops_per_thread=ops_per_thread,
+        stripes=stripes,
+        repeats=repeats,
+        points=tuple(points),
+    )

@@ -70,7 +70,7 @@ class DgcServer:
         site.endpoint.export(self, object_id=DGC_OBJECT_ID, interface="IDgc")
         site.events.subscribe("provider_exported", self._on_provider_exported)
         # Providers exported before the server attached still get graced.
-        for oid in list(getattr(site, "_provider_refs", {})):
+        for oid in site.exported_oids():
             self._exported_at.setdefault(oid, site.clock.now())
 
     # ------------------------------------------------------------------

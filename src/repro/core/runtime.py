@@ -20,6 +20,7 @@ run-time decision the paper puts in the application's hands.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import weakref
 from dataclasses import dataclass, field
@@ -43,6 +44,14 @@ from repro.core.replication import (
     build_put,
     build_put_delta,
     integrate_package,
+)
+from repro.core.striping import (
+    DEFAULT_STRIPES,
+    NULL_GUARD,
+    StripedStats,
+    StripeLock,
+    snapshot_read,
+    stripe_of,
 )
 from repro.core.telemetry import SyncPathStats
 from repro.core.versions import ChangeLog, DirtyTracker, DirtySnapshot
@@ -70,12 +79,21 @@ from repro.util.events import EventBus
 from repro.util.ids import new_site_id
 
 
+#: Site-global registration order for table records.  ``itertools.count``
+#: advances atomically under the GIL, so stamping needs no lock; the
+#: striped iterators sort by it to preserve the registration-order
+#: iteration the single-table runtime gave for free (cluster member
+#: order depends on it).
+_record_seq = itertools.count()
+
+
 @dataclass
 class MasterRecord:
     """Bookkeeping for one object mastered at this site."""
 
     obj: object
     version: int = 1
+    seq: int = field(default_factory=_record_seq.__next__)
 
 
 @dataclass
@@ -164,19 +182,41 @@ class ReplicaRecord:
     #: Set by the consistency layer (invalidation/lease protocols).
     invalidated: bool = field(default=False)
     lease_expires_at: float | None = field(default=None)
+    seq: int = field(default_factory=_record_seq.__next__)
 
 
 class Site:
     """One OBIWAN process: masters, replicas, proxies, costs."""
 
-    def __init__(self, world: "World", name: str, endpoint: RmiEndpoint):
+    def __init__(
+        self,
+        world: "World",
+        name: str,
+        endpoint: RmiEndpoint,
+        *,
+        stripes: int | None = None,
+        snapshot_reads: bool = True,
+    ):
         self.world = world
         self.name = name
         self.endpoint = endpoint
         self.costs: CostModel = world.costs
         self.gc_stats = GcStats()
-        self.fault_stats = FaultPathStats()
-        self.sync_stats = SyncPathStats()
+        #: Number of oid-hashed stripes the object tables are partitioned
+        #: into.  Node-local: peers never see it, so striped and
+        #: un-striped sites interoperate unchanged.
+        count = stripes if stripes is not None else DEFAULT_STRIPES
+        if count < 1:
+            raise ReplicationError(f"stripe count must be >= 1, got {count}")
+        self.stripe_count = count
+        #: Chicken bit for the lock-free read paths.  ``False`` makes
+        #: every ``@snapshot_read`` method take its stripe lock instead —
+        #: the pre-striping discipline, kept for A/B benchmarking
+        #: (``stripes=1, snapshot_reads=False`` reproduces the old
+        #: single-global-RLock runtime).
+        self._snapshot_reads = snapshot_reads
+        self.fault_stats = StripedStats(FaultPathStats, count)
+        self.sync_stats = StripedStats(SyncPathStats, count)
         #: Causal tracer (obitrace, PR 5).  :data:`NULL_TRACER` — whose
         #: ``span()`` hands back one shared no-op context manager — until
         #: :meth:`enable_tracing` swaps in a live one.  Shared with the
@@ -196,25 +236,48 @@ class Site:
         self.change_log = ChangeLog()
         #: Provider sites that answered a delta verb with a missing-method
         #: failure (unversioned peers) — probed once, then skipped.
+        self._peers_lock = threading.Lock()
         self._no_delta_providers: set[str] = set()
         #: Local pub/sub used by the consistency and mobility layers.
         #: Topics: ``replica_registered``, ``replica_refreshed``,
         #: ``put_applied``, ``fault_resolved``.
         self.events = EventBus()
-        #: Guards the object tables: provider-side dispatcher threads and
-        #: application threads touch them concurrently on the threaded and
-        #: TCP transports.  Re-entrant because engine paths nest (e.g.
-        #: build_package -> ensure_provider_for).
-        self._lock = threading.RLock()
-        self._masters: dict[str, MasterRecord] = {}
-        self._replicas: dict[str, ReplicaRecord] = {}
-        self._provider_refs: dict[str, RemoteRef] = {}
+        #: Per-stripe locks guarding the object tables: provider-side
+        #: dispatcher threads and application threads touch them
+        #: concurrently on the threaded and TCP transports.  Each stripe's
+        #: lock is re-entrant because engine paths nest within one oid
+        #: (e.g. drop_master -> retract of the same object).  obiflow
+        #: machine-checks the discipline: an access to a striped table
+        #: must hold the stripe lock derived from the same key (OBI207),
+        #: multi-stripe acquisitions must ascend (OBI208), and declared
+        #: snapshot reads must not mutate (OBI209).
+        self._stripe_locks = [StripeLock() for _ in range(count)]
+        self._masters: list[dict[str, MasterRecord]] = [{} for _ in range(count)]
+        self._replicas: list[dict[str, ReplicaRecord]] = [{} for _ in range(count)]
+        self._provider_refs: list[dict[str, RemoteRef]] = [{} for _ in range(count)]
+        #: Pending proxy-outs stay one table: proxies are keyed by target
+        #: id but scanned whole (``pending_siblings``), so a dedicated
+        #: small lock beats stripe routing here.
+        self._proxies_lock = threading.Lock()
         self._pending_proxies: "weakref.WeakValueDictionary[str, ProxyOutBase]" = (
             weakref.WeakValueDictionary()
         )
         #: Demands currently on the wire, keyed by target obi id; faults
         #: racing on one target coalesce through these handles.
-        self._inflight_demands: dict[str, _InflightDemand] = {}
+        self._inflight_demands: list[dict[str, _InflightDemand]] = [
+            {} for _ in range(count)
+        ]
+
+    def _stripe_of(self, oid: str) -> int:
+        """The stripe an obi id routes to (deterministic, node-local)."""
+        return stripe_of(oid, self.stripe_count)
+
+    def _read_guard(self, idx: int):
+        """Null context by default; stripe ``idx``'s lock when the
+        snapshot-read chicken bit is off (the pre-striping discipline)."""
+        if self._snapshot_reads:
+            return NULL_GUARD
+        return self._stripe_locks[idx]
 
     # ------------------------------------------------------------------
     # public API: provider role
@@ -243,8 +306,9 @@ class Site:
         from repro.rmi.acl import AccessGuard
 
         oid = obi_id_of(obj)
-        with self._lock:
-            if oid in self._provider_refs:
+        idx = self._stripe_of(oid)
+        with self._stripe_locks[idx]:
+            if oid in self._provider_refs[idx]:
                 raise ReplicationError(
                     f"object {oid!r} is already exported unguarded; "
                     "export_guarded must come first"
@@ -252,9 +316,9 @@ class Site:
             interface = interface_of(obj)
             guard = AccessGuard(self.endpoint, ProxyIn(self, obj), policy)
             ref = self.endpoint.export(guard, interface=interface.name)
-            self._provider_refs[oid] = ref
-            if oid not in self._replicas:
-                self._masters.setdefault(oid, MasterRecord(obj=obj))
+            self._provider_refs[idx][oid] = ref
+            if oid not in self._replicas[idx]:
+                self._masters[idx].setdefault(oid, MasterRecord(obj=obj))
         self.events.publish("provider_exported", site=self, oid=oid, ref=ref)
         if name is not None:
             self.naming.rebind(name, ref)
@@ -312,7 +376,7 @@ class Site:
         with self.tracer.span("put_back", name=oid) as span:
             snap = self.dirty_tracker.capture(replica) if self.delta_sync else None
             if snap is not None and snap.clean:
-                self.sync_stats.add(puts_noop=1)
+                self.sync_stats.add(oid=oid, puts_noop=1)
                 span.set(path="noop")
                 return info.version
             if snap is not None and not snap.whole and self._delta_peer_ok(info.provider):
@@ -335,7 +399,7 @@ class Site:
                 )
             info.version = version
             self._rebaseline_after_full_put([replica], [snap])
-            self.sync_stats.add(puts_full=1)
+            self.sync_stats.add(oid=oid, puts_full=1)
             span.set(path="full")
             return version
 
@@ -366,32 +430,39 @@ class Site:
                     if not snap.clean
                 ]
                 if not dirty:
-                    self.sync_stats.add(puts_noop=1)
-                    member_ids = [obi_id_of(member) for member in members]
-                    with self._lock:
-                        return {
-                            oid: self._replicas[oid].version
-                            for oid in member_ids
-                            if oid in self._replicas
-                        }
+                    self.sync_stats.add(oid=obi_id_of(root), puts_noop=1)
+                    versions_held: dict[str, int] = {}
+                    for member in members:
+                        oid = obi_id_of(member)
+                        idx = self._stripe_of(oid)
+                        with self._stripe_locks[idx]:
+                            record = self._replicas[idx].get(oid)
+                        if record is not None:
+                            versions_held[oid] = record.version
+                    return versions_held
                 versions = self._try_put_delta(info.provider, dirty)
                 if versions is not None:
-                    with self._lock:
-                        for oid, version in versions.items():
-                            record = self._replicas.get(oid)
-                            if record is not None:
-                                record.version = version
+                    self._apply_versions(versions)
                     return versions
         package = cluster_ops.build_cluster_put(self, root)
         versions = self.endpoint.invoke(info.provider, "put", (package,))
-        with self._lock:
-            for oid, version in versions.items():
-                record = self._replicas.get(oid)
-                if record is not None:
-                    record.version = version
+        self._apply_versions(versions)
         self._rebaseline_after_full_put(members, snaps)
-        self.sync_stats.add(puts_full=1)
+        self.sync_stats.add(oid=obi_id_of(root), puts_full=1)
         return versions
+
+    def _apply_versions(self, versions: dict[str, int]) -> None:
+        """Commit master-acknowledged versions onto the replica records.
+
+        Stripes are visited in sorted-oid order, one lock at a time —
+        no stripe lock is ever held while taking another.
+        """
+        for oid in sorted(versions):
+            idx = self._stripe_of(oid)
+            with self._stripe_locks[idx]:
+                record = self._replicas[idx].get(oid)
+                if record is not None:
+                    record.version = versions[oid]
 
     def refresh(self, replica: object) -> object:
         """Re-fetch a replica's state from its master, updating in place.
@@ -488,17 +559,23 @@ class Site:
         counted as pointers rather than followed (every replica is
         already summed once).
         """
-        with self._lock:
-            return sum(
-                _own_state_size(record.obj) for record in self._replicas.values()
-            )
+        total = 0
+        for idx in range(self.stripe_count):
+            with self._stripe_locks[idx]:
+                total += sum(
+                    _own_state_size(record.obj)
+                    for record in self._replicas[idx].values()
+                )
+        return total
 
     def evict(self, replica: object) -> None:
         """Drop replication bookkeeping for a replica (memory pressure on
         an info-appliance).  The object itself stays usable as a plain
         local object; it can no longer be put back or refreshed."""
-        with self._lock:
-            self._replicas.pop(obi_id_of(replica), None)
+        oid = obi_id_of(replica)
+        idx = self._stripe_of(oid)
+        with self._stripe_locks[idx]:
+            self._replicas[idx].pop(oid, None)
         self.dirty_tracker.forget(replica)
 
     # ------------------------------------------------------------------
@@ -564,16 +641,17 @@ class Site:
     def ensure_provider_for(self, obj: object) -> tuple[RemoteRef, bool]:
         """Make sure ``obj`` has an exported proxy-in; returns (ref, created)."""
         oid = obi_id_of(obj)
-        with self._lock:
-            existing = self._provider_refs.get(oid)
+        idx = self._stripe_of(oid)
+        with self._stripe_locks[idx]:
+            existing = self._provider_refs[idx].get(oid)
             if existing is not None:
                 return existing, False
             interface = interface_of(obj)
             proxy_in = ProxyIn(self, obj)
             ref = self.endpoint.export(proxy_in, interface=interface.name)
-            self._provider_refs[oid] = ref
-            if oid not in self._replicas:
-                self._masters.setdefault(oid, MasterRecord(obj=obj))
+            self._provider_refs[idx][oid] = ref
+            if oid not in self._replicas[idx]:
+                self._masters[idx].setdefault(oid, MasterRecord(obj=obj))
         self.events.publish("provider_exported", site=self, oid=oid, ref=ref)
         return ref, True
 
@@ -584,15 +662,31 @@ class Site:
         unaffected — if the application still references it, it lives on
         as plain local state and can be re-exported later.
         """
-        with self._lock:
-            self.retract_provider(oid)
-            dropped = self._masters.pop(oid, None) is not None
+        idx = self._stripe_of(oid)
+        with self._stripe_locks[idx]:
+            self._retract_provider_locked(idx, oid)
+            dropped = self._masters[idx].pop(oid, None) is not None
         self.change_log.drop(oid)
         return dropped
 
     def iter_masters(self):
-        with self._lock:
-            return iter(list(self._masters.items()))
+        items: list[tuple[str, MasterRecord]] = []
+        for idx in range(self.stripe_count):
+            with self._stripe_locks[idx]:
+                items.extend(self._masters[idx].items())
+        items.sort(key=lambda pair: pair[1].seq)
+        return iter(items)
+
+    def exported_oids(self) -> list[str]:
+        """Oids with a live proxy-in export, in registration order."""
+        pairs: list[tuple[int, str]] = []
+        for idx in range(self.stripe_count):
+            with self._stripe_locks[idx]:
+                for oid in self._provider_refs[idx]:
+                    record = self._masters[idx].get(oid)
+                    pairs.append((record.seq if record is not None else -1, oid))
+        pairs.sort()
+        return [oid for _seq, oid in pairs]
 
     def retract_provider(self, oid: str) -> bool:
         """Withdraw an object's proxy-in (distributed-GC reclamation).
@@ -602,12 +696,16 @@ class Site:
         "no such object in table" after a DGC lease expires.  A later
         ``ensure_provider_for`` exports a fresh proxy-in.
         """
-        with self._lock:
-            ref = self._provider_refs.pop(oid, None)
-            if ref is None:
-                return False
-            self.endpoint.unexport(ref.object_id)
-            return True
+        idx = self._stripe_of(oid)
+        with self._stripe_locks[idx]:
+            return self._retract_provider_locked(idx, oid)
+
+    def _retract_provider_locked(self, idx: int, oid: str) -> bool:
+        ref = self._provider_refs[idx].pop(oid, None)
+        if ref is None:
+            return False
+        self.endpoint.unexport(ref.object_id)
+        return True
 
     def note_master(self, obj: object) -> None:
         """Record ``obj`` as mastered here without exporting a proxy-in.
@@ -617,48 +715,63 @@ class Site:
         can find them.
         """
         oid = obi_id_of(obj)
-        with self._lock:
-            if oid not in self._replicas:
-                self._masters.setdefault(oid, MasterRecord(obj=obj))
+        idx = self._stripe_of(oid)
+        with self._stripe_locks[idx]:
+            if oid not in self._replicas[idx]:
+                self._masters[idx].setdefault(oid, MasterRecord(obj=obj))
 
+    @snapshot_read
     def version_of(self, obj: object) -> int:
         oid = obi_id_of(obj)
-        with self._lock:
-            master = self._masters.get(oid)
+        idx = self._stripe_of(oid)
+        with self._read_guard(idx):
+            master = self._masters[idx].get(oid)
             if master is not None:
                 return master.version
-            replica = self._replicas.get(oid)
+            replica = self._replicas[idx].get(oid)
             if replica is not None:
                 return replica.version
         return 1
 
+    @snapshot_read
     def is_master(self, oid: str) -> bool:
-        with self._lock:
-            return oid in self._masters
+        idx = self._stripe_of(oid)
+        with self._read_guard(idx):
+            return oid in self._masters[idx]
 
+    @snapshot_read
     def is_replica(self, oid: str) -> bool:
-        with self._lock:
-            return oid in self._replicas
+        idx = self._stripe_of(oid)
+        with self._read_guard(idx):
+            return oid in self._replicas[idx]
 
+    @snapshot_read
     def has_exported(self, oid: str) -> bool:
-        with self._lock:
-            return oid in self._provider_refs
+        idx = self._stripe_of(oid)
+        with self._read_guard(idx):
+            return oid in self._provider_refs[idx]
 
+    @snapshot_read
     def master_object_for(self, oid: str) -> object | None:
-        with self._lock:
-            record = self._masters.get(oid)
+        idx = self._stripe_of(oid)
+        with self._read_guard(idx):
+            record = self._masters[idx].get(oid)
         return record.obj if record is not None else None
 
+    @snapshot_read
     def master_version(self, master: object) -> int:
-        with self._lock:
-            record = self._masters.get(obi_id_of(master))
+        oid = obi_id_of(master)
+        idx = self._stripe_of(oid)
+        with self._read_guard(idx):
+            record = self._masters[idx].get(oid)
         if record is None:
             raise ReplicationError(f"object is not mastered at site {self.name!r}")
         return record.version
 
     def bump_master_version(self, oid: str) -> int:
-        with self._lock:
-            record = self._masters.get(oid)
+        idx = self._stripe_of(oid)
+        with self._stripe_locks[idx]:
+            record = self._masters[idx].get(oid)
             if record is None:
                 raise ReplicationError(f"no master {oid!r} at site {self.name!r}")
             record.version += 1
@@ -666,17 +779,26 @@ class Site:
         self.events.publish("put_applied", site=self, oid=oid, version=version)
         return version
 
+    @snapshot_read
     def local_object_for(self, oid: str) -> object | None:
-        """The master or replica with this identity, if present here."""
-        with self._lock:
-            master = self._masters.get(oid)
+        """The master or replica with this identity, if present here.
+
+        The hot fault-path lookup: a snapshot read, lock-free by default.
+        A miss is always re-checked under real synchronization (the
+        demand path coalesces through :meth:`begin_demand`), so racing a
+        concurrent registration at worst costs one extra round trip.
+        """
+        idx = self._stripe_of(oid)
+        with self._read_guard(idx):
+            master = self._masters[idx].get(oid)
             if master is not None:
                 return master.obj
-            replica = self._replicas.get(oid)
+            replica = self._replicas[idx].get(oid)
             if replica is not None:
                 return replica.obj
         return None
 
+    @snapshot_read
     def local_node_for(self, oid: str) -> object | None:
         """Like :meth:`local_object_for`, but also reuses pending proxies."""
         local = self.local_object_for(oid)
@@ -684,25 +806,35 @@ class Site:
             return local
         return self._pending_proxies.get(oid)
 
+    @snapshot_read
     def replica_info(self, oid: str) -> ReplicaRecord | None:
-        with self._lock:
-            return self._replicas.get(oid)
+        idx = self._stripe_of(oid)
+        with self._read_guard(idx):
+            return self._replicas[idx].get(oid)
 
     def iter_replicas(self):
-        with self._lock:
-            return iter(list(self._replicas.values()))
+        records: list[ReplicaRecord] = []
+        for idx in range(self.stripe_count):
+            with self._stripe_locks[idx]:
+                records.extend(self._replicas[idx].values())
+        records.sort(key=lambda record: record.seq)
+        return iter(records)
 
     def register_replica(self, obj: object, meta: ObjectMeta, mode: ReplicationMode) -> None:
-        with self._lock:
-            self._register_replica_locked(obj, meta, mode)
+        oid = meta.obi_id
+        idx = self._stripe_of(oid)
+        with self._stripe_locks[idx]:
+            self._register_replica_locked(idx, obj, meta, mode)
         if self.delta_sync:
             # The replica is in a just-synced state right now: enroll it
             # (or re-baseline an existing enrollment after a refresh).
             self.dirty_tracker.enroll(obj)
 
-    def _register_replica_locked(self, obj: object, meta: ObjectMeta, mode: ReplicationMode) -> None:
+    def _register_replica_locked(
+        self, idx: int, obj: object, meta: ObjectMeta, mode: ReplicationMode
+    ) -> None:
         oid = meta.obi_id
-        existing = self._replicas.get(oid)
+        existing = self._replicas[idx].get(oid)
         if existing is not None:
             existing.obj = obj
             existing.version = meta.version
@@ -711,7 +843,7 @@ class Site:
                 existing.provider = meta.provider
                 existing.cluster_root = None
             return
-        self._replicas[oid] = ReplicaRecord(
+        self._replicas[idx][oid] = ReplicaRecord(
             obj=obj,
             provider=meta.provider,
             version=meta.version,
@@ -724,7 +856,8 @@ class Site:
     ) -> ProxyOutBase:
         entry = compiled_registry.by_interface(interface_name)
         proxy = entry.proxy_out_cls(self, target_id, provider, entry.interface, mode)
-        self._pending_proxies[target_id] = proxy
+        with self._proxies_lock:
+            self._pending_proxies[target_id] = proxy
         self.gc_stats.track_created()
         return proxy
 
@@ -734,7 +867,8 @@ class Site:
         return faults.resolve_fault(self, proxy)
 
     def finish_fault(self, proxy: ProxyOutBase, replica: object) -> None:
-        self._pending_proxies.pop(proxy._obi_target_id, None)
+        with self._proxies_lock:
+            self._pending_proxies.pop(proxy._obi_target_id, None)
         self.gc_stats.track_resolved(proxy)
 
     # ------------------------------------------------------------------
@@ -748,12 +882,13 @@ class Site:
         another thread's demand is already on the wire — wait on
         ``handle.event`` and read ``handle.result`` / ``handle.error``.
         """
-        with self._lock:
-            existing = self._inflight_demands.get(target_id)
+        idx = self._stripe_of(target_id)
+        with self._stripe_locks[idx]:
+            existing = self._inflight_demands[idx].get(target_id)
             if existing is not None:
                 return False, existing
             handle = _InflightDemand()
-            self._inflight_demands[target_id] = handle
+            self._inflight_demands[idx][target_id] = handle
             return True, handle
 
     def finish_demand(
@@ -765,8 +900,9 @@ class Site:
         error: BaseException | None = None,
     ) -> None:
         """Release an in-flight demand slot and wake coalesced waiters."""
-        with self._lock:
-            self._inflight_demands.pop(target_id, None)
+        idx = self._stripe_of(target_id)
+        with self._stripe_locks[idx]:
+            self._inflight_demands[idx].pop(target_id, None)
         handle.result = result
         handle.error = error
         handle.event.set()
@@ -786,7 +922,7 @@ class Site:
         if not demander_ids:
             return []
         provider_site = proxy._obi_provider.site_id
-        with self._lock:
+        with self._proxies_lock:
             pending = sorted(self._pending_proxies.items())
         siblings: list[ProxyOutBase] = []
         for _target_id, candidate in pending:
@@ -826,12 +962,12 @@ class Site:
         """True unless this provider's site already failed a delta probe."""
         if provider is None:
             return False
-        with self._lock:
+        with self._peers_lock:
             return provider.site_id not in self._no_delta_providers
 
     def _note_no_delta(self, provider: RemoteRef) -> None:
         """Remember that ``provider``'s site lacks the delta verbs."""
-        with self._lock:
+        with self._peers_lock:
             self._no_delta_providers.add(provider.site_id)
 
     def _try_put_delta(
@@ -923,8 +1059,10 @@ class Site:
     def _replica_record(self, replica: object) -> ReplicaRecord:
         if not is_obiwan(replica):
             raise ReplicationError(f"{type(replica).__name__} is not an OBIWAN object")
-        with self._lock:
-            record = self._replicas.get(obi_id_of(replica))
+        oid = obi_id_of(replica)
+        idx = self._stripe_of(oid)
+        with self._stripe_locks[idx]:
+            record = self._replicas[idx].get(oid)
         if record is None:
             raise ReplicationError(
                 f"object {obi_id_of(replica)!r} is not a replica on site {self.name!r}"
@@ -935,20 +1073,56 @@ class Site:
             )
         return record
 
+    @snapshot_read
+    def master_count(self) -> int:
+        """Number of exported masters across every stripe."""
+        return sum(len(shard) for shard in self._masters)
+
+    @snapshot_read
+    def replica_count(self) -> int:
+        """Number of registered replicas across every stripe."""
+        return sum(len(shard) for shard in self._replicas)
+
+    @snapshot_read
+    def pending_proxy_count(self) -> int:
+        """Number of live unresolved proxies on this site."""
+        return len(self._pending_proxies)
+
+    def stripe_metrics(self) -> dict[str, int]:
+        """Contention counters aggregated over the stripe locks."""
+        waits = 0
+        max_depth = 0
+        for lock in self._stripe_locks:
+            waits += lock.waits
+            if lock.max_depth > max_depth:
+                max_depth = lock.max_depth
+        return {
+            "stripes": self.stripe_count,
+            "acquire_waits": waits,
+            "max_depth": max_depth,
+        }
+
+    @snapshot_read
     def __repr__(self) -> str:
-        with self._lock:
-            return (
-                f"Site({self.name!r}, masters={len(self._masters)}, "
-                f"replicas={len(self._replicas)})"
-            )
+        return (
+            f"Site({self.name!r}, masters={self.master_count()}, "
+            f"replicas={self.replica_count()})"
+        )
 
 
 class World:
     """A set of sites wired to one network and one name server."""
 
-    def __init__(self, network: Network, *, costs: CostModel | None = None):
+    def __init__(
+        self,
+        network: Network,
+        *,
+        costs: CostModel | None = None,
+        stripes: int | None = None,
+    ):
         self.network = network
         self.costs = costs if costs is not None else CostModel.calibrated_2002()
+        self.default_stripes = stripes
         self.sites: dict[str, Site] = {}
         self._nameserver_site: str | None = None
 
@@ -985,7 +1159,13 @@ class World:
     # ------------------------------------------------------------------
     # site management
     # ------------------------------------------------------------------
-    def create_site(self, name: str | None = None) -> Site:
+    def create_site(
+        self,
+        name: str | None = None,
+        *,
+        stripes: int | None = None,
+        snapshot_reads: bool = True,
+    ) -> Site:
         """Attach a new site; the first site created hosts the name server."""
         site_name = name if name is not None else new_site_id()
         if site_name in self.sites:
@@ -998,7 +1178,13 @@ class World:
             self._nameserver_site = site_name
             # Earlier sites cannot exist (this is the first), so nothing to
             # retrofit; later sites get the pointer at construction.
-        site = Site(self, site_name, endpoint)
+        site = Site(
+            self,
+            site_name,
+            endpoint,
+            stripes=stripes if stripes is not None else self.default_stripes,
+            snapshot_reads=snapshot_reads,
+        )
         self.sites[site_name] = site
         return site
 

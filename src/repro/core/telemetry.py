@@ -144,6 +144,11 @@ class TelemetrySnapshot:
     spans_recorded: int
     spans_dropped: int
     span_high_water: int
+    #: Stripe-lock contention (PR 6): stripe count, blocking acquires,
+    #: deepest reentrancy seen across the site's stripe locks.
+    stripe_count: int
+    stripe_acquire_waits: int
+    stripe_max_depth: int
 
     def render(self) -> str:
         return (
@@ -164,6 +169,9 @@ class TelemetrySnapshot:
             f"{self.refreshes_delta} delta / {self.refreshes_full} full refreshes, "
             f"{self.need_full_downgrades} NEED_FULL downgrades, "
             f"~{self.delta_bytes_saved} B saved\n"
+            f"  stripes : {self.stripe_count} stripes, "
+            f"{self.stripe_acquire_waits} acquire waits, "
+            f"max depth {self.stripe_max_depth}\n"
             f"  tracing : {'on' if self.tracing_enabled else 'off'}, "
             f"{self.spans_recorded} spans recorded, "
             f"{self.spans_dropped} dropped, "
@@ -192,6 +200,7 @@ def snapshot(site: "Site") -> TelemetrySnapshot:
         pool_stats.reused_from(site.name) if pool_stats is not None else 0
     )
     sync = site.sync_stats.snapshot()
+    stripe_metrics = site.stripe_metrics()
     collector = getattr(site.tracer, "collector", None)
     span_stats = (
         collector.stats()
@@ -202,11 +211,11 @@ def snapshot(site: "Site") -> TelemetrySnapshot:
     return TelemetrySnapshot(
         site=site.name,
         clock_s=site.clock.now(),
-        masters=len(site._masters),
+        masters=site.master_count(),
         replicas=len(replicas),
         cluster_members=cluster_members,
         individually_updatable=sum(1 for r in replicas if r.provider is not None),
-        pending_proxies=len(site._pending_proxies),
+        pending_proxies=site.pending_proxy_count(),
         exported_objects=len(site.endpoint.objects),
         proxies_created=site.gc_stats.proxies_created,
         faults_resolved=site.gc_stats.faults_resolved,
@@ -230,4 +239,7 @@ def snapshot(site: "Site") -> TelemetrySnapshot:
         spans_recorded=span_stats["recorded"],
         spans_dropped=span_stats["dropped"],
         span_high_water=span_stats["high_water"],
+        stripe_count=stripe_metrics["stripes"],
+        stripe_acquire_waits=stripe_metrics["acquire_waits"],
+        stripe_max_depth=stripe_metrics["max_depth"],
     )

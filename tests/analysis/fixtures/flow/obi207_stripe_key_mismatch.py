@@ -1,0 +1,29 @@
+"""Seeded defect: striped-table access under the wrong stripe lock (OBI207).
+
+``note`` hashes the oid to stripe ``idx`` and touches shard ``idx`` —
+fine.  ``cross_shard_read`` holds stripe ``idx``'s lock but reads shard
+``other``: a lock is held, yet it guards a different shard, so the read
+races with ``other``'s locked writers exactly as if no lock were held.
+"""
+
+import threading
+import zlib
+
+
+class StripedDirectory:
+    def __init__(self):
+        self._stripe_locks = [threading.Lock() for _ in range(8)]
+        self._records = [{} for _ in range(8)]
+
+    def _stripe_of(self, oid):
+        return zlib.crc32(oid.encode("utf-8")) % 8
+
+    def note(self, oid, version):
+        idx = self._stripe_of(oid)
+        with self._stripe_locks[idx]:
+            self._records[idx][oid] = version
+
+    def cross_shard_read(self, oid, other):
+        idx = self._stripe_of(oid)
+        with self._stripe_locks[idx]:
+            return self._records[other].get(oid)

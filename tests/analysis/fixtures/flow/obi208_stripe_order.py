@@ -1,0 +1,28 @@
+"""Seeded defect: two stripe locks nested without an ordering proof (OBI208).
+
+``move`` takes stripe ``src`` then stripe ``dst`` with nothing relating
+the two indices: a concurrent ``move`` with the arguments swapped nests
+them the other way and deadlocks inside the one family.  ``merge`` shows
+the accepted discipline — ``lo, hi = sorted((i, j))`` ranks the keys, so
+locking ``lo`` before ``hi`` is provably ascending and stays clean.
+"""
+
+import threading
+
+
+class StripedTransfer:
+    def __init__(self):
+        self._stripe_locks = [threading.Lock() for _ in range(8)]
+        self._tables = [{} for _ in range(8)]
+
+    def move(self, oid, src, dst):
+        with self._stripe_locks[src]:
+            record = self._tables[src].pop(oid, None)
+            with self._stripe_locks[dst]:
+                self._tables[dst][oid] = record
+
+    def merge(self, oid, i, j):
+        lo, hi = sorted((i, j))
+        with self._stripe_locks[lo]:
+            with self._stripe_locks[hi]:
+                self._tables[lo][oid] = self._tables[hi].get(oid)

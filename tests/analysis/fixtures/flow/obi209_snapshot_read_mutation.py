@@ -1,0 +1,32 @@
+"""Seeded defect: a declared snapshot read that mutates state (OBI209).
+
+``observe`` is decorated ``@snapshot_read`` — a promise of lock-free,
+read-only behaviour — yet it calls ``_bump``, which writes a striped
+table.  The helper even takes the correct stripe lock, so OBI207 is
+satisfied; the defect is purely that a mutation is reachable from a
+path declared to be a read.
+"""
+
+import threading
+import zlib
+
+
+def snapshot_read(func):
+    func.__obiwan_snapshot_read__ = True
+    return func
+
+
+class StripedCounter:
+    def __init__(self):
+        self._stripe_locks = [threading.Lock() for _ in range(8)]
+        self._counts = [{} for _ in range(8)]
+
+    def _bump(self, oid, idx):
+        with self._stripe_locks[idx]:
+            self._counts[idx][oid] = self._counts[idx].get(oid, 0) + 1
+
+    @snapshot_read
+    def observe(self, oid):
+        idx = zlib.crc32(oid.encode("utf-8")) % 8
+        self._bump(oid, idx)
+        return self._counts[idx].get(oid)

@@ -113,6 +113,33 @@ class TestFormats:
         assert "unknown rule" in capsys.readouterr().err
 
 
+class TestJobs:
+    def test_parallel_report_matches_serial(self, tmp_path, capsys):
+        _write(tmp_path, "bad.py", BAD)
+        _write(tmp_path, "good.py", CLEAN)
+        _write(
+            tmp_path,
+            "warn.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        _write(tmp_path, "broken.py", "def oops(:\n")
+        assert main([str(tmp_path), "--format", "json"]) == 1
+        serial = capsys.readouterr().out
+        assert main([str(tmp_path), "--format", "json", "--jobs", "4"]) == 1
+        parallel = capsys.readouterr().out
+        assert json.loads(serial) == json.loads(parallel)
+
+    def test_invalid_jobs_is_usage_error(self, tmp_path, capsys):
+        _write(tmp_path, "good.py", CLEAN)
+        assert main([str(tmp_path), "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
 class TestSelfHost:
     def test_src_and_examples_clean_under_strict(self, capsys):
         # The acceptance bar: the analyzer passes over its own codebase.

@@ -149,9 +149,9 @@ class TestEngine:
 
 
 class TestCatalog:
-    def test_fourteen_rules_shipped(self):
-        assert len(ALL_RULES) == 14
-        assert len({rule.id for rule in ALL_RULES}) == 14
+    def test_seventeen_rules_shipped(self):
+        assert len(ALL_RULES) == 17
+        assert len({rule.id for rule in ALL_RULES}) == 17
 
     def test_ids_and_names_stable(self):
         catalog = {rule.id: rule.name for rule in ALL_RULES}
@@ -170,6 +170,9 @@ class TestCatalog:
             "OBI204": "put-without-source",
             "OBI205": "demand-outside-fault-path",
             "OBI206": "splice-escape",
+            "OBI207": "stripe-key-mismatch",
+            "OBI208": "stripe-order",
+            "OBI209": "snapshot-read-mutation",
         }
 
     def test_every_rule_documented(self):

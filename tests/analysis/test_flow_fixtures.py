@@ -22,7 +22,13 @@ CASES = [
     ("obi204_put_without_source.py", "OBI204"),
     ("obi205_demand_outside_fault.py", "OBI205"),
     ("obi206_splice_escape.py", "OBI206"),
+    ("obi207_stripe_key_mismatch.py", "OBI207"),
+    ("obi208_stripe_order.py", "OBI208"),
+    ("obi209_snapshot_read_mutation.py", "OBI209"),
 ]
+
+#: The stripe fixtures are each built to trip exactly one discipline.
+STRIPE_CASES = CASES[-3:]
 
 
 @pytest.mark.parametrize(("fixture", "rule"), CASES)
@@ -37,6 +43,14 @@ def test_every_flow_rule_has_a_fixture():
 
     flow_ids = {rule.id for rule in build_rules() if rule.id.startswith("OBI2")}
     assert flow_ids == {rule for _fixture, rule in CASES}
+
+
+@pytest.mark.parametrize(("fixture", "rule"), STRIPE_CASES)
+def test_stripe_fixture_triggers_exactly_its_rule(fixture, rule):
+    """With every flow rule running, each stripe fixture trips only its own."""
+    all_flow = {f"OBI20{n}" for n in range(1, 10)}
+    report = analyze_paths([FIXTURES / fixture], select=all_flow)
+    assert {finding.rule for finding in report.all_findings()} == {rule}
 
 
 def test_obi203_fixture_flags_both_evict_and_lookup():

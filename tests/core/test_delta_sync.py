@@ -383,7 +383,8 @@ class LegacyProxyIn:
 
 def _downgrade_to_legacy(provider, master) -> None:
     """Replace ``master``'s exported proxy-in with a delta-less peer."""
-    ref = provider._provider_refs[obi_id_of(master)]
+    oid = obi_id_of(master)
+    ref = provider._provider_refs[provider._stripe_of(oid)][oid]
     table = provider.endpoint.objects
     table._objects[ref.object_id] = LegacyProxyIn(table.get(ref.object_id))
 

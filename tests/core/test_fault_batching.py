@@ -140,7 +140,8 @@ class TestCoalescing:
             threads[0].start()
             # Wait for the leader to register its in-flight demand.
             for _ in range(500):
-                if proxy._obi_target_id in consumer._inflight_demands:
+                target_id = proxy._obi_target_id
+                if target_id in consumer._inflight_demands[consumer._stripe_of(target_id)]:
                     break
                 threading.Event().wait(0.01)
             threads[1].start()

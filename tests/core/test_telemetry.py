@@ -62,6 +62,21 @@ def test_render_is_human_readable(zsites):
     assert "traffic" in text
 
 
+def test_stripes_line_in_render(zsites):
+    provider, consumer = zsites
+    provider.export(Box("v"), name="box")
+    consumer.replicate("box")
+    snap = snapshot(consumer)
+    assert snap.stripe_count == consumer.stripe_count
+    text = snap.render()
+    assert f"stripes : {consumer.stripe_count} stripes" in text
+    assert "acquire waits" in text
+    assert "max depth" in text
+    # The stripes line slots in without disturbing the deltasync line
+    # existing consumers parse.
+    assert "deltasync" in text
+
+
 def test_tracing_line_off_by_default(zsites):
     _provider, consumer = zsites
     snap = snapshot(consumer)
