@@ -46,8 +46,21 @@ REPLICA_SOURCE_VERBS: frozenset[str] = frozenset({"get", "demand", "get_delta"})
 #: Builtin types with a wire tag in :mod:`repro.serial.tags`.  Everything
 #: else crosses the wire only via the type registry.
 WIRE_ENCODABLE_BUILTINS: frozenset[type] = frozenset(
-    {type(None), bool, int, float, str, bytes, list, tuple, dict, set, frozenset}
+    {type(None), bool, int, float, str, bytes, bytearray, list, tuple, dict, set, frozenset}
 )
+
+
+def schema_codec_names() -> frozenset[str]:
+    """Wire names with a generated obicodec fast-path codec.
+
+    The contract view of PR 7's compiled serialization: every name here
+    corresponds to an ``OBJECT_SCHEMA`` frame the runtime may emit, and
+    must resolve to the same registered class on every site.  Delegates
+    to the live codec cache so the set never drifts from the runtime.
+    """
+    from repro.serial.compiled import registered_codec_names
+
+    return registered_codec_names()
 
 #: Dotted callables whose results can never cross a site boundary: OS
 #: handles and scheduler state.  Keys are fully-qualified call names as

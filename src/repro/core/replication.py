@@ -140,7 +140,16 @@ def _build_package(site: "Site", root: object, mode: ReplicationMode) -> Replica
         )
 
     swizzler = PackagingSwizzler(site, member_ids)
-    payload = Encoder(site.registry, swizzler).encode(root)
+    # The obicodec fast path runs only when this provider has it enabled
+    # AND the consumer's mode announced it can decode OBJECT_SCHEMA
+    # frames — the same probe-free negotiation prefetch uses.
+    encoder = Encoder(
+        site.registry,
+        swizzler,
+        compiled=bool(mode.codec) and site.compiled_codec,
+        stats=site.serial_stats,
+    )
+    payload = encoder.encode(root)
     pairs_created += swizzler.pairs_created
 
     site.charge_serialization(len(payload))
@@ -213,7 +222,7 @@ def _integrate_package(site: "Site", package: ReplicaPackage) -> object:
     site.charge_serialization(len(package.payload))
     site.charge_replicas(package.object_count)
 
-    decoder = Decoder(site.registry, SiteUnswizzler(site, package.mode))
+    decoder = Decoder(site.registry, SiteUnswizzler(site, package.mode), stats=site.serial_stats)
     decoded_root = decoder.decode(package.payload)
 
     arrivals = _collect_arrivals(decoded_root, package)
@@ -281,7 +290,7 @@ def _collect_arrivals(decoded_root: object, package: ReplicaPackage) -> dict[str
 # ----------------------------------------------------------------------
 # write-back (put)
 # ----------------------------------------------------------------------
-def build_put(site: "Site", replicas: list[object]) -> PutPackage:
+def build_put(site: "Site", replicas: list[object], *, compiled: bool = False) -> PutPackage:
     """Build the ``put`` package for one or more local replicas.
 
     Each entry carries one object's own state.  Every OBIWAN reference in
@@ -291,6 +300,11 @@ def build_put(site: "Site", replicas: list[object]) -> PutPackage:
     and keeps proxy-outs for the rest.  A consumer-created object thus
     stays mastered at the consumer ("objects can be replicated freely
     among sites").
+
+    With ``compiled=True`` (negotiated per provider by the site) an
+    all-scalar replica travels as one self-contained ``OBJECT_SCHEMA``
+    frame instead of the reflective state dict; anything the schema
+    cannot express keeps the dict frame, entry by entry.
     """
     entries: list[PutEntry] = []
     total_bytes = 0
@@ -298,12 +312,13 @@ def build_put(site: "Site", replicas: list[object]) -> PutPackage:
     # an independent frame, and the swizzler accumulates pairs_created
     # across entries so the cost model is charged once for the batch.
     swizzler = PackagingSwizzler(site, member_ids=set())
-    encoder = Encoder(site.registry, swizzler)
+    encoder = Encoder(site.registry, swizzler, stats=site.serial_stats)
     for replica in replicas:
         oid = obi_id_of(replica)
         info = site.replica_info(oid)
-        state = dict(vars(replica))
-        payload = encoder.encode(state)
+        payload = encoder.encode_compiled(replica) if compiled else None
+        if payload is None:
+            payload = encoder.encode(dict(vars(replica)))
         total_bytes += len(payload)
         entries.append(
             PutEntry(obi_id=oid, payload=payload, version_seen=info.version if info else 0)
@@ -323,7 +338,9 @@ def _apply_put(site: "Site", package: PutPackage) -> dict[str, int]:
     versions: dict[str, int] = {}
     # Every entry decodes under the same unswizzling policy, so one
     # decoder serves the whole package (each decode() is its own frame).
-    decoder = Decoder(site.registry, SiteUnswizzler(site, ReplicationMode()))
+    decoder = Decoder(
+        site.registry, SiteUnswizzler(site, ReplicationMode()), stats=site.serial_stats
+    )
     for entry in package.entries:
         site.charge_serialization(len(entry.payload))
         master = site.master_object_for(entry.obi_id)
@@ -333,6 +350,11 @@ def _apply_put(site: "Site", package: PutPackage) -> dict[str, int]:
                 f"site {site.name!r}"
             )
         state = decoder.decode(entry.payload)
+        if is_obiwan(state) and type(state) is type(master):
+            # A compiled put entry decodes straight to an instance; its
+            # schema admits only scalar fields, so lifting the dict links
+            # the master to fresh values, never to the decoded copy.
+            state = dict(vars(state))
         if not isinstance(state, dict):
             raise ReplicationError("put payload must decode to a state dict")
         preserved_id = vars(master).get("_obi_id")

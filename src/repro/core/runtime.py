@@ -23,7 +23,7 @@ from __future__ import annotations
 import itertools
 import threading
 import weakref
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core import cluster as cluster_ops
 from repro.core import faults
@@ -53,7 +53,7 @@ from repro.core.striping import (
     snapshot_read,
     stripe_of,
 )
-from repro.core.telemetry import SyncPathStats
+from repro.core.telemetry import SerialPathStats, SyncPathStats
 from repro.core.versions import ChangeLog, DirtyTracker, DirtySnapshot
 from repro.obs.context import NULL_TRACER, Tracer
 from repro.obs.spans import SpanCollector
@@ -73,6 +73,7 @@ from repro.util.errors import (
     ProtocolError,
     RemoteError,
     ReplicationError,
+    SerializationError,
     UnknownReplicaError,
 )
 from repro.util.events import EventBus
@@ -217,6 +218,7 @@ class Site:
         self._snapshot_reads = snapshot_reads
         self.fault_stats = StripedStats(FaultPathStats, count)
         self.sync_stats = StripedStats(SyncPathStats, count)
+        self.serial_stats = StripedStats(SerialPathStats, count)
         #: Causal tracer (obitrace, PR 5).  :data:`NULL_TRACER` — whose
         #: ``span()`` hands back one shared no-op context manager — until
         #: :meth:`enable_tracing` swaps in a live one.  Shared with the
@@ -234,10 +236,20 @@ class Site:
         self.dirty_tracker = DirtyTracker(self.fingerprinter)
         #: Master-side history of which fields each version changed.
         self.change_log = ChangeLog()
+        #: Opt-in knob for the obicodec fast path (PR 7).  When ``True``,
+        #: outgoing modes announce ``codec=1`` (so codec-enabled providers
+        #: answer with compiled frames), provider-side ``get`` handling
+        #: honours the announcement, and ``put_back`` ships all-scalar
+        #: replicas as compiled frames — downgrading per provider site the
+        #: first time a pre-codec master rejects the unknown wire tag.
+        self.compiled_codec = False
         #: Provider sites that answered a delta verb with a missing-method
         #: failure (unversioned peers) — probed once, then skipped.
         self._peers_lock = threading.Lock()
         self._no_delta_providers: set[str] = set()
+        #: Provider sites whose master rejected a compiled put frame
+        #: (pre-codec peers) — remembered so later puts go reflective.
+        self._no_codec_providers: set[str] = set()
         #: Local pub/sub used by the consistency and mobility layers.
         #: Topics: ``replica_registered``, ``replica_refreshed``,
         #: ``put_applied``, ``fault_resolved``.
@@ -344,7 +356,9 @@ class Site:
         with self.tracer.span("replicate", name=label) as span:
             ref = self._resolve_target(target)
             package = self.endpoint.invoke(
-                ref, "get", (mode if mode is not None else Incremental(1),)
+                ref,
+                "get",
+                (self.outgoing_mode(mode if mode is not None else Incremental(1)),),
             )
             replica = integrate_package(self, package)
             span.set(provider=ref.site_id, objects=package.object_count)
@@ -390,8 +404,21 @@ class Site:
                     info.version = version
                     span.set(path="delta")
                     return version
-            package = build_put(self, [replica])
-            versions = self.endpoint.invoke(info.provider, "put", (package,))
+            compiled = self._codec_peer_ok(info.provider)
+            package = build_put(self, [replica], compiled=compiled)
+            try:
+                versions = self.endpoint.invoke(info.provider, "put", (package,))
+            except (SerializationError, ReplicationError, RemoteError) as exc:
+                if not (compiled and _codec_unsupported(exc)):
+                    raise
+                # A pre-codec master choked on the OBJECT_SCHEMA tag:
+                # remember the site and retry reflectively.  Put is
+                # last-writer-wins, so the retry is idempotent even if
+                # the first attempt half-landed (it cannot: decode
+                # precedes any mutation on the master side).
+                self._note_no_codec(info.provider)
+                package = build_put(self, [replica], compiled=False)
+                versions = self.endpoint.invoke(info.provider, "put", (package,))
             version = versions.get(oid)
             if version is None:
                 raise UnknownReplicaError(
@@ -495,7 +522,9 @@ class Site:
                         # Merged state diverged from the master's fingerprint:
                         # the full refresh below overwrites the partial merge.
                         self.sync_stats.add(need_full_downgrades=1)
-            package = self.endpoint.invoke(info.provider, "get", (Incremental(1),))
+            package = self.endpoint.invoke(
+                info.provider, "get", (self.outgoing_mode(Incremental(1)),)
+            )
             refreshed = integrate_package(self, package)
             self.sync_stats.add(refreshes_full=1)
             span.set(path="full")
@@ -511,7 +540,9 @@ class Site:
         """
         info = self._replica_record(root)
         with self.tracer.span("refresh_cluster", name=obi_id_of(root)):
-            package = self.endpoint.invoke(info.provider, "get", (info.mode,))
+            package = self.endpoint.invoke(
+                info.provider, "get", (self.outgoing_mode(info.mode),)
+            )
             refreshed = integrate_package(self, package)
         self.events.publish("replica_refreshed", site=self, replica=refreshed)
         return refreshed
@@ -956,6 +987,34 @@ class Site:
             self.clock.advance(count * self.costs.replica_create_s)
 
     # ------------------------------------------------------------------
+    # obicodec negotiation (PR 7)
+    # ------------------------------------------------------------------
+    def outgoing_mode(self, mode: ReplicationMode) -> ReplicationMode:
+        """Stamp the codec announcement onto a consumer-outgoing mode.
+
+        Every ``get``-family request funnels through here so a provider
+        learns, per request, whether this consumer decodes compiled
+        frames.  Pre-codec providers unpack the extra tuple slot into
+        ``*rest`` and ignore it.
+        """
+        want = 1 if self.compiled_codec else 0
+        if mode.codec == want:
+            return mode
+        return replace(mode, codec=want)
+
+    def _codec_peer_ok(self, provider: RemoteRef | None) -> bool:
+        """True when puts to this provider's site may use compiled frames."""
+        if not self.compiled_codec or provider is None:
+            return False
+        with self._peers_lock:
+            return provider.site_id not in self._no_codec_providers
+
+    def _note_no_codec(self, provider: RemoteRef) -> None:
+        """Remember that ``provider``'s site rejects OBJECT_SCHEMA frames."""
+        with self._peers_lock:
+            self._no_codec_providers.add(provider.site_id)
+
+    # ------------------------------------------------------------------
     # delta-sync plumbing (PR 4)
     # ------------------------------------------------------------------
     def _delta_peer_ok(self, provider: RemoteRef | None) -> bool:
@@ -1218,6 +1277,28 @@ def _delta_unsupported(exc: BaseException) -> bool:
         return "has no method" in str(exc)
     if isinstance(exc, RemoteError):
         return exc.remote_type == "AttributeError"
+    return False
+
+
+def _codec_unsupported(exc: BaseException) -> bool:
+    """True when a put failure means "this master predates obicodec".
+
+    A pre-codec decoder fails on the first OBJECT_SCHEMA byte with
+    ``unknown wire tag``; a peer that somehow decodes the frame but
+    cannot treat an instance payload as state reports the legacy
+    state-dict complaint.  The RMI layer reconstructs well-known
+    middleware exceptions as their own local type (and flattens unknown
+    ones into :class:`RemoteError`), so both shapes are checked.
+    Anything else is a genuine failure.
+    """
+    if isinstance(exc, SerializationError) or (
+        isinstance(exc, RemoteError) and exc.remote_type == "SerializationError"
+    ):
+        return "unknown wire tag" in str(exc)
+    if isinstance(exc, ReplicationError) or (
+        isinstance(exc, RemoteError) and exc.remote_type == "ReplicationError"
+    ):
+        return "must decode to a state dict" in str(exc)
     return False
 
 

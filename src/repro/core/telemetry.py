@@ -104,6 +104,90 @@ class SyncPathStats:
         return before
 
 
+@dataclass
+class SerialPathStats:
+    """Counters for the serializer (obicodec, PR 7).
+
+    Frames are encoded/decoded on application *and* dispatcher threads,
+    so increments go through :meth:`add` under the lock, like
+    :class:`SyncPathStats`.  Time is real nanoseconds
+    (:func:`repro.util.clock.perf_ns`), not simulated cost-model time:
+    the point is to see what the serializer itself costs.
+    """
+
+    #: Objects encoded through a compiled OBJECT_SCHEMA codec.
+    encodes_fast: int = 0
+    #: Objects that fell back to the reflective OBJECT path while the
+    #: compiled path was enabled (no codec, or shape drift).
+    encodes_reflective: int = 0
+    #: Objects decoded through a compiled codec.
+    decodes_fast: int = 0
+    #: Whole frames encoded / decoded by stats-carrying codecs.
+    frames_encoded: int = 0
+    frames_decoded: int = 0
+    #: Wall nanoseconds spent inside encode() / decode().
+    encode_ns: int = 0
+    decode_ns: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add(
+        self,
+        *,
+        encodes_fast: int = 0,
+        encodes_reflective: int = 0,
+        decodes_fast: int = 0,
+        frames_encoded: int = 0,
+        frames_decoded: int = 0,
+        encode_ns: int = 0,
+        decode_ns: int = 0,
+    ) -> None:
+        """Atomically bump any subset of the counters."""
+        with self._lock:
+            self.encodes_fast += encodes_fast
+            self.encodes_reflective += encodes_reflective
+            self.decodes_fast += decodes_fast
+            self.frames_encoded += frames_encoded
+            self.frames_decoded += frames_decoded
+            self.encode_ns += encode_ns
+            self.decode_ns += decode_ns
+
+    def snapshot(self) -> dict[str, int]:
+        """A mutually-consistent reading of all counters."""
+        with self._lock:
+            return {
+                "encodes_fast": self.encodes_fast,
+                "encodes_reflective": self.encodes_reflective,
+                "decodes_fast": self.decodes_fast,
+                "frames_encoded": self.frames_encoded,
+                "frames_decoded": self.frames_decoded,
+                "encode_ns": self.encode_ns,
+                "decode_ns": self.decode_ns,
+            }
+
+    def reset(self) -> dict[str, int]:
+        """Zero the counters; returns the values they had."""
+        with self._lock:
+            before = {
+                "encodes_fast": self.encodes_fast,
+                "encodes_reflective": self.encodes_reflective,
+                "decodes_fast": self.decodes_fast,
+                "frames_encoded": self.frames_encoded,
+                "frames_decoded": self.frames_decoded,
+                "encode_ns": self.encode_ns,
+                "decode_ns": self.decode_ns,
+            }
+            self.encodes_fast = 0
+            self.encodes_reflective = 0
+            self.decodes_fast = 0
+            self.frames_encoded = 0
+            self.frames_decoded = 0
+            self.encode_ns = 0
+            self.decode_ns = 0
+        return before
+
+
 @dataclass(frozen=True, slots=True)
 class TelemetrySnapshot:
     """One site's state at a point in (simulated) time."""
@@ -149,6 +233,13 @@ class TelemetrySnapshot:
     stripe_count: int
     stripe_acquire_waits: int
     stripe_max_depth: int
+    #: Serializer fast-path counters (obicodec, PR 7); see
+    #: :class:`SerialPathStats`.
+    serial_fast_encodes: int
+    serial_reflective_encodes: int
+    serial_fast_decodes: int
+    serial_encode_ns: int
+    serial_decode_ns: int
 
     def render(self) -> str:
         return (
@@ -172,6 +263,11 @@ class TelemetrySnapshot:
             f"  stripes : {self.stripe_count} stripes, "
             f"{self.stripe_acquire_waits} acquire waits, "
             f"max depth {self.stripe_max_depth}\n"
+            f"  serial  : {self.serial_fast_encodes} fast / "
+            f"{self.serial_reflective_encodes} reflective encodes, "
+            f"{self.serial_fast_decodes} fast decodes, "
+            f"{self.serial_encode_ns} ns encoding, "
+            f"{self.serial_decode_ns} ns decoding\n"
             f"  tracing : {'on' if self.tracing_enabled else 'off'}, "
             f"{self.spans_recorded} spans recorded, "
             f"{self.spans_dropped} dropped, "
@@ -200,6 +296,7 @@ def snapshot(site: "Site") -> TelemetrySnapshot:
         pool_stats.reused_from(site.name) if pool_stats is not None else 0
     )
     sync = site.sync_stats.snapshot()
+    serial = site.serial_stats.snapshot()
     stripe_metrics = site.stripe_metrics()
     collector = getattr(site.tracer, "collector", None)
     span_stats = (
@@ -242,4 +339,9 @@ def snapshot(site: "Site") -> TelemetrySnapshot:
         stripe_count=stripe_metrics["stripes"],
         stripe_acquire_waits=stripe_metrics["acquire_waits"],
         stripe_max_depth=stripe_metrics["max_depth"],
+        serial_fast_encodes=serial["encodes_fast"],
+        serial_reflective_encodes=serial["encodes_reflective"],
+        serial_fast_decodes=serial["decodes_fast"],
+        serial_encode_ns=serial["encode_ns"],
+        serial_decode_ns=serial["decode_ns"],
     )

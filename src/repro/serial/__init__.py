@@ -16,6 +16,7 @@ Differences from :mod:`pickle`, deliberately:
   model, so the format is compact and deterministic.
 """
 
+from repro.serial.compiled import ObjectCodec, codec_for, derive_schema, registered_codec_names
 from repro.serial.encoder import Encoder
 from repro.serial.decoder import Decoder
 from repro.serial.measure import encoded_size
@@ -25,9 +26,13 @@ from repro.serial.swizzle import SwizzleDescriptor, Swizzler, Unswizzler
 __all__ = [
     "Encoder",
     "Decoder",
+    "ObjectCodec",
     "TypeRegistry",
+    "codec_for",
+    "derive_schema",
     "global_registry",
     "register_type",
+    "registered_codec_names",
     "SwizzleDescriptor",
     "Swizzler",
     "Unswizzler",

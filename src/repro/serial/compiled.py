@@ -1,0 +1,432 @@
+"""obicodec: schema-compiled serialization fast path.
+
+The reflective codec pays a per-value ``_write`` dispatch and re-encodes
+every field *name* into every frame.  For the classes that dominate
+replication traffic — obicomp-compiled application classes whose fields
+are scalars — the schema is knowable at registration time, so this module
+derives it once and generates a specialized encoder/decoder pair:
+
+* fixed-width fields (int/float/bool) collapse into a single
+  ``struct.Struct`` pack/unpack,
+* str/bytes fields become length-prefixed runs,
+* the frame is self-describing (wire name + schema hash under the
+  ``OBJECT_SCHEMA`` tag) so a receiver can verify it compiled the *same*
+  schema before trusting offsets,
+* decoding walks a ``memoryview`` with offset arithmetic — no per-field
+  ``bytes`` slicing, no intermediate state dict.
+
+Anything the schema cannot prove — polymorphic fields, container fields,
+custom ``__getstate__``/``__setstate__``, ``__slots__``, out-of-range
+ints, an instance dict whose shape drifted from the schema — falls back
+to the reflective ``OBJECT`` path, which stays byte-identical to
+pre-obicodec peers.  Schema derivation reads the ``self.X = ...``
+assignments in ``__init__`` (annotation, literal, or parameter default),
+exactly the information obicomp already relies on for proxy generation.
+
+The generated source is kept on the codec (:attr:`ObjectCodec.source`)
+so :mod:`repro.core.obicomp.emit` can write it next to the emitted proxy.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import re
+import struct
+import textwrap
+import zlib
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.serial import tags
+
+_U32 = struct.Struct("!I")
+
+#: kind name -> struct format char, for the fixed-width fields.
+_FIXED_FMT = {"int": "q", "float": "d", "bool": "?"}
+
+#: Scalar kinds a compiled schema may contain.
+_SCALAR_KINDS = frozenset({"int", "float", "bool", "str", "bytes"})
+
+_TYPE_KIND = {int: "int", float: "float", bool: "bool", str: "str", bytes: "bytes"}
+
+#: ``int`` fields pack as ``!q``; anything outside this range falls back
+#: to the reflective variable-length integer encoding.
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1
+
+
+@dataclass(frozen=True)
+class ObjectCodec:
+    """A compiled encoder/decoder pair for one registered class."""
+
+    cls: type
+    name: str
+    fields: tuple[tuple[str, str], ...]  # (field, kind) in __init__ order
+    schema_hash: int
+    header: bytes
+    fixed_format: str
+    encode: Callable[[bytearray, object, object], bool]
+    decode: Callable[[object, int, list, Callable[[], object]], tuple[object, int]]
+    source: str
+
+    def describe(self) -> str:
+        return ", ".join(f"{field}:{kind}" for field, kind in self.fields) or "<no fields>"
+
+
+#: Codec cache keyed by class.  ``None`` records a class we already tried
+#: and rejected, so registration never re-derives.
+_codecs: dict[type, ObjectCodec | None] = {}
+
+
+def codec_for(cls: type) -> ObjectCodec | None:
+    """The compiled codec for ``cls``, or None (hot path: one dict probe)."""
+    return _codecs.get(cls)
+
+
+def maybe_compile_codec(entry) -> ObjectCodec | None:
+    """Derive + compile a codec for a freshly registered ``TypeEntry``.
+
+    Called by :meth:`TypeRegistry.register` only when the entry uses the
+    default state getter/setter/factory — custom hooks mean the instance
+    dict is not the wire state, so the schema would lie.  Failures are
+    silent and cached: an undecodable class simply stays reflective.
+    """
+    cls = entry.cls
+    if cls in _codecs:
+        return _codecs[cls]
+    codec: ObjectCodec | None = None
+    try:
+        fields = derive_schema(cls)
+        if fields is not None:
+            codec = _build_codec(cls, entry.name, fields)
+    except Exception:
+        codec = None
+    _codecs[cls] = codec
+    return codec
+
+
+def registered_codec_names() -> frozenset[str]:
+    """Wire names that currently have a compiled codec (contract hook)."""
+    return frozenset(codec.name for codec in _codecs.values() if codec is not None)
+
+
+def schema_hash_of(fields: tuple[tuple[str, str], ...]) -> int:
+    description = "|".join(f"{field}:{kind}" for field, kind in fields)
+    return zlib.crc32(description.encode("utf-8")) & 0xFFFFFFFF
+
+
+# ----------------------------------------------------------------------
+# schema derivation
+# ----------------------------------------------------------------------
+def derive_schema(cls: type) -> tuple[tuple[str, str], ...] | None:
+    """Monomorphic scalar field schema for ``cls``, or None.
+
+    Fields come from the ``self.X = ...`` assignments in ``__init__``
+    (textual order); each must resolve to exactly one scalar kind via, in
+    precedence order: the assignment's own annotation, a class-level
+    annotation, the source parameter's annotation, the source parameter's
+    default value, or a literal.  Classes with ``__slots__`` or a custom
+    ``__getstate__``/``__setstate__`` anywhere in the MRO are rejected —
+    their wire state is not the instance dict.
+    """
+    for klass in cls.__mro__:
+        if klass is object:
+            break
+        spec = vars(klass)
+        if "__slots__" in spec or "__getstate__" in spec or "__setstate__" in spec:
+            return None
+
+    init = cls.__init__
+    if init is object.__init__:
+        return ()
+    try:
+        source = textwrap.dedent(inspect.getsource(init))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError, ValueError):
+        return None
+    if not tree.body or not isinstance(tree.body[0], (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return None
+    fn = tree.body[0]
+    if not fn.args.args:
+        return None
+    self_name = fn.args.args[0].arg
+
+    param_kinds = _parameter_kinds(init)
+    class_kinds = _class_annotation_kinds(cls)
+
+    order: list[str] = []
+    kinds: dict[str, str | None] = {}
+    for node in sorted(
+        (n for n in ast.walk(fn) if isinstance(n, (ast.Assign, ast.AnnAssign, ast.AugAssign))),
+        key=lambda n: (n.lineno, n.col_offset),
+    ):
+        if isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            annotation_kind = _annotation_kind(_unparse(node.annotation))
+        elif isinstance(node, ast.Assign):
+            targets = node.targets
+            annotation_kind = None
+        else:  # AugAssign: self.x += ... on a field we never saw plainly
+            targets = [node.target]
+            annotation_kind = None
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                # Unpacking into self attributes is uninferable.
+                if any(_is_self_attr(el, self_name) for el in target.elts):
+                    return None
+                continue
+            if not _is_self_attr(target, self_name):
+                continue
+            field = target.attr
+            kind = (
+                annotation_kind
+                or class_kinds.get(field)
+                or _expr_kind(node.value if not isinstance(node, ast.AugAssign) else None, param_kinds)
+            )
+            if field not in kinds:
+                order.append(field)
+                kinds[field] = kind
+            elif kind is not None and kinds[field] is not None and kinds[field] != kind:
+                return None  # conflicting assignments: polymorphic field
+            elif kinds[field] is None:
+                kinds[field] = kind
+
+    if "_obi_id" in kinds:
+        return None  # reserved: carried in the frame header instead
+    fields = []
+    for field in order:
+        kind = kinds[field]
+        if kind is None or kind not in _SCALAR_KINDS:
+            return None
+        fields.append((field, kind))
+    return tuple(fields)
+
+
+def _is_self_attr(node: ast.expr, self_name: str) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == self_name
+    )
+
+
+def _annotation_kind(annotation: object) -> str | None:
+    if isinstance(annotation, str):
+        text = annotation.strip().strip("'\"")
+        return text if text in _SCALAR_KINDS else None
+    if isinstance(annotation, type):
+        return _TYPE_KIND.get(annotation)
+    return None
+
+
+def _unparse(node: ast.expr | None) -> str | None:
+    if node is None:
+        return None
+    try:
+        return ast.unparse(node)
+    except Exception:
+        return None
+
+
+def _parameter_kinds(init) -> dict[str, str]:
+    try:
+        signature = inspect.signature(init)
+    except (ValueError, TypeError):
+        return {}
+    kinds: dict[str, str] = {}
+    for name, parameter in list(signature.parameters.items())[1:]:
+        kind = _annotation_kind(parameter.annotation)
+        if kind is None and parameter.default is not inspect.Parameter.empty:
+            if parameter.default is not None and type(parameter.default) in _TYPE_KIND:
+                kind = _TYPE_KIND[type(parameter.default)]
+        if kind is not None:
+            kinds[name] = kind
+    return kinds
+
+
+def _class_annotation_kinds(cls: type) -> dict[str, str]:
+    kinds: dict[str, str] = {}
+    for klass in reversed(cls.__mro__):
+        for field, annotation in vars(klass).get("__annotations__", {}).items():
+            kind = _annotation_kind(annotation)
+            if kind is not None:
+                kinds[field] = kind
+    return kinds
+
+
+def _expr_kind(expr: ast.expr | None, param_kinds: dict[str, str]) -> str | None:
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Constant):
+        value = expr.value
+        if value is None or value is Ellipsis:
+            return None
+        return _TYPE_KIND.get(type(value))
+    if isinstance(expr, ast.Name):
+        return param_kinds.get(expr.id)
+    if (
+        isinstance(expr, ast.UnaryOp)
+        and isinstance(expr.op, (ast.USub, ast.UAdd))
+        and isinstance(expr.operand, ast.Constant)
+    ):
+        return _TYPE_KIND.get(type(expr.operand.value))
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        name = expr.func.id
+        return name if name in _SCALAR_KINDS else None
+    return None
+
+
+# ----------------------------------------------------------------------
+# code generation
+# ----------------------------------------------------------------------
+def _build_codec(cls: type, name: str, fields: tuple[tuple[str, str], ...]) -> ObjectCodec:
+    suffix = re.sub(r"\W", "_", name)
+    schema_hash = schema_hash_of(fields)
+    name_bytes = name.encode("utf-8")
+    header = bytes([tags.OBJECT_SCHEMA]) + _U32.pack(len(name_bytes)) + name_bytes + _U32.pack(schema_hash)
+    fixed = [(i, field, kind) for i, (field, kind) in enumerate(fields) if kind in _FIXED_FMT]
+    variable = [(i, field, kind) for i, (field, kind) in enumerate(fields) if kind not in _FIXED_FMT]
+    fixed_format = "!" + "".join(_FIXED_FMT[kind] for _, _, kind in fixed) if fixed else ""
+    source = _generate_source(suffix, name, fields, fixed, variable, fixed_format, schema_hash, header)
+    namespace: dict[str, object] = {"_struct": struct}
+    exec(compile(source, f"<obicodec {name}>", "exec"), namespace)  # noqa: S102 - our own generated source
+    return ObjectCodec(
+        cls=cls,
+        name=name,
+        fields=fields,
+        schema_hash=schema_hash,
+        header=header,
+        fixed_format=fixed_format,
+        encode=namespace[f"_obicodec_encode_{suffix}"],  # type: ignore[arg-type]
+        decode=namespace[f"_obicodec_decode_{suffix}"],  # type: ignore[arg-type]
+        source=source,
+    )
+
+
+def _generate_source(
+    suffix: str,
+    name: str,
+    fields: tuple[tuple[str, str], ...],
+    fixed: list[tuple[int, str, str]],
+    variable: list[tuple[int, str, str]],
+    fixed_format: str,
+    schema_hash: int,
+    header: bytes,
+) -> str:
+    lines: list[str] = []
+    emit = lines.append
+    describe = ", ".join(f"{field}:{kind}" for field, kind in fields) or "<no fields>"
+    emit(f"# obicodec for {name!r} - schema 0x{schema_hash:08x}: {describe}")
+    emit(f"_obicodec_hdr_{suffix} = {header!r}")
+    emit(f"_obicodec_u32_{suffix} = _struct.Struct('!I').pack")
+    emit(f"_obicodec_u32r_{suffix} = _struct.Struct('!I').unpack_from")
+    if fixed:
+        emit(f"_obicodec_fx_{suffix} = _struct.Struct({fixed_format!r})")
+        fixed_size = struct.calcsize(fixed_format)
+    else:
+        fixed_size = 0
+
+    # --- encoder: validate the live instance against the schema, then
+    # commit in one pass.  Any mismatch returns False and the caller
+    # falls back to the reflective OBJECT path.
+    head = (
+        f"def _obicodec_encode_{suffix}(out, obj, memo, "
+        f"_hdr=_obicodec_hdr_{suffix}, _u32=_obicodec_u32_{suffix}"
+    )
+    if fixed:
+        head += f", _pack=_obicodec_fx_{suffix}.pack"
+    emit(head + "):")
+    emit("    d = obj.__dict__")
+    emit("    oid = d.get('_obi_id')")
+    emit("    n = len(d)")
+    emit("    if oid is not None:")
+    emit("        if type(oid) is not str:")
+    emit("            return False")
+    emit("        n -= 1")
+    emit(f"    if n != {len(fields)}:")
+    emit("        return False")
+    if fields:
+        emit("    try:")
+        for i, (field, _) in enumerate(fields):
+            emit(f"        v{i} = d[{field!r}]")
+        emit("    except KeyError:")
+        emit("        return False")
+    for i, (field, kind) in enumerate(fields):
+        if kind == "int":
+            emit(f"    if type(v{i}) is not int or v{i} > {INT64_MAX} or v{i} < {INT64_MIN}:")
+        elif kind == "float":
+            emit(f"    if type(v{i}) is not float:")
+        elif kind == "bool":
+            emit(f"    if type(v{i}) is not bool:")
+        elif kind == "str":
+            emit(f"    if type(v{i}) is not str:")
+        else:  # bytes
+            emit(f"    if type(v{i}) is not bytes:")
+        emit("        return False")
+    for i, field, kind in variable:
+        if kind == "str":
+            emit(f"    b{i} = v{i}.encode('utf-8')")
+    emit("    memo.add(obj)")
+    emit("    out += _hdr")
+    emit("    if oid is None:")
+    emit("        out.append(0)")
+    emit("    else:")
+    emit("        b = oid.encode('utf-8')")
+    emit("        out.append(1)")
+    emit("        out += _u32(len(b))")
+    emit("        out += b")
+    if fixed:
+        args = ", ".join(f"v{i}" for i, _, _ in fixed)
+        emit(f"    out += _pack({args})")
+    for i, field, kind in variable:
+        payload = f"b{i}" if kind == "str" else f"v{i}"
+        emit(f"    out += _u32(len({payload}))")
+        emit(f"    out += {payload}")
+    emit("    return True")
+
+    # --- decoder: offset arithmetic over the caller's memoryview; the
+    # instance registers in the memo before its fields, mirroring the
+    # reflective path, and fields land in __init__ order so the rebuilt
+    # instance dict matches the master's.
+    head = f"def _obicodec_decode_{suffix}(buf, pos, memo, factory, _u32r=_obicodec_u32r_{suffix}"
+    if fixed:
+        head += f", _unpack=_obicodec_fx_{suffix}.unpack_from"
+    emit(head + "):")
+    emit("    obj = factory()")
+    emit("    memo.append(obj)")
+    emit("    d = obj.__dict__")
+    emit("    flag = buf[pos]")
+    emit("    pos += 1")
+    emit("    oid = None")
+    emit("    if flag:")
+    emit("        ln = _u32r(buf, pos)[0]")
+    emit("        pos += 4")
+    emit("        end = pos + ln")
+    emit("        oid = str(buf[pos:end], 'utf-8')")
+    emit("        pos = end")
+    if fixed:
+        targets = ", ".join(f"v{i}" for i, _, _ in fixed)
+        if len(fixed) == 1:
+            emit(f"    ({targets},) = _unpack(buf, pos)")
+        else:
+            emit(f"    {targets} = _unpack(buf, pos)")
+        emit(f"    pos += {fixed_size}")
+    for i, field, kind in variable:
+        emit("    ln = _u32r(buf, pos)[0]")
+        emit("    pos += 4")
+        emit("    end = pos + ln")
+        if kind == "str":
+            emit(f"    v{i} = str(buf[pos:end], 'utf-8')")
+        else:
+            emit(f"    v{i} = bytes(buf[pos:end])")
+        emit("    pos = end")
+    emit("    if pos > len(buf):")
+    emit("        raise IndexError('truncated compiled frame')")
+    for i, (field, _) in enumerate(fields):
+        emit(f"    d[{field!r}] = v{i}")
+    emit("    if oid is not None:")
+    emit("        d['_obi_id'] = oid")
+    emit("    return obj, pos")
+    emit("")
+    return "\n".join(lines)

@@ -12,9 +12,11 @@ from __future__ import annotations
 import struct
 
 from repro.serial import tags
+from repro.serial.compiled import codec_for
 from repro.serial.encoder import _LAZY_GUARD_DEPTH, _RecursionGuard
 from repro.serial.registry import TypeRegistry, global_registry
 from repro.serial.swizzle import NullSwizzler, SwizzleDescriptor, Unswizzler
+from repro.util.clock import perf_ns
 from repro.util.errors import SerializationError
 
 _U32 = struct.Struct("!I")
@@ -30,13 +32,18 @@ class Decoder:
         unswizzler: Unswizzler | None = None,
         *,
         max_depth: int = 50_000,
+        stats: object | None = None,
     ):
         self.registry = registry if registry is not None else global_registry
         self.unswizzler = unswizzler if unswizzler is not None else NullSwizzler()
         self.max_depth = max_depth
+        self.stats = stats
+        self._fast_hits = 0
 
     def decode(self, data: bytes) -> object:
         reader = _Reader(data)
+        start = perf_ns() if self.stats is not None else 0
+        self._fast_hits = 0
         # Decoding nests as deeply as encoding did; see the encoder's
         # _RecursionGuard for rationale (and why it arms lazily).
         with _RecursionGuard(self.max_depth) as guard:
@@ -44,6 +51,12 @@ class Decoder:
         if not reader.exhausted:
             raise SerializationError(
                 f"trailing garbage after frame: {reader.remaining} bytes unread"
+            )
+        if self.stats is not None:
+            self.stats.add(
+                frames_decoded=1,
+                decode_ns=perf_ns() - start,
+                decodes_fast=self._fast_hits,
             )
         return value
 
@@ -68,9 +81,13 @@ class Decoder:
         if tag == tags.FLOAT:
             return _F64.unpack(reader.take(8))[0]
         if tag == tags.STR:
-            return reader.take(reader.u32()).decode("utf-8")
+            return str(reader.take(reader.u32()), "utf-8")
         if tag == tags.BYTES:
-            return reader.take(reader.u32())
+            return bytes(reader.take(reader.u32()))
+        if tag == tags.BYTEARRAY:
+            out = bytearray(reader.take(reader.u32()))
+            memo.append(out)
+            return out
         if tag == tags.REF:
             index = reader.u32()
             try:
@@ -113,15 +130,37 @@ class Decoder:
                 mapping[key] = self._read(reader, memo, depth + 1, guard)
             return mapping
         if tag == tags.OBJECT:
-            name = reader.take(reader.u32()).decode("utf-8")
+            name = str(reader.take(reader.u32()), "utf-8")
             entry = self.registry.lookup_name(name)
             instance = entry.factory()
             memo.append(instance)
             state = self._read(reader, memo, depth + 1, guard)
             entry.set_state(instance, state)
             return instance
+        if tag == tags.OBJECT_SCHEMA:
+            name = str(reader.take(reader.u32()), "utf-8")
+            schema_hash = reader.u32()
+            entry = self.registry.lookup_name(name)
+            codec = codec_for(entry.cls)
+            if codec is None or codec.name != name or codec.schema_hash != schema_hash:
+                raise SerializationError(
+                    f"compiled frame for {name!r} (schema 0x{schema_hash:08x}) does not "
+                    "match a codec on this site — peers must share class definitions"
+                )
+            # The codec registers the instance in the memo itself, then
+            # walks the memoryview with offset arithmetic; we just move
+            # the cursor to where it stopped.
+            try:
+                instance, end = codec.decode(reader.buffer, reader.tell(), memo, entry.factory)
+            except (struct.error, IndexError, ValueError) as exc:
+                raise SerializationError(
+                    f"truncated or corrupt compiled frame for {name!r}: {exc}"
+                ) from None
+            reader.seek(end)
+            self._fast_hits += 1
+            return instance
         if tag == tags.SWIZZLED:
-            kind = reader.take(reader.u32()).decode("utf-8")
+            kind = str(reader.take(reader.u32()), "utf-8")
             slot = len(memo)
             memo.append(_PENDING)
             data = self._read(reader, memo, depth + 1, guard)
@@ -135,15 +174,20 @@ _PENDING = object()
 
 
 class _Reader:
-    """Bounds-checked byte cursor."""
+    """Bounds-checked cursor over a ``memoryview`` of the frame.
+
+    ``take`` hands out zero-copy subviews; scalar consumers
+    (``int.from_bytes``, ``struct.unpack``, ``str``) read them directly,
+    and only values that must outlive the frame (BYTES payloads) copy.
+    """
 
     __slots__ = ("_data", "_pos")
 
-    def __init__(self, data: bytes):
-        self._data = data
+    def __init__(self, data: bytes | memoryview):
+        self._data = data if isinstance(data, memoryview) else memoryview(data)
         self._pos = 0
 
-    def take(self, count: int) -> bytes:
+    def take(self, count: int) -> memoryview:
         end = self._pos + count
         if end > len(self._data):
             raise SerializationError(
@@ -153,6 +197,21 @@ class _Reader:
         chunk = self._data[self._pos : end]
         self._pos = end
         return chunk
+
+    @property
+    def buffer(self) -> memoryview:
+        return self._data
+
+    def tell(self) -> int:
+        return self._pos
+
+    def seek(self, pos: int) -> None:
+        if pos < self._pos or pos > len(self._data):
+            raise SerializationError(
+                f"compiled frame cursor out of bounds: {pos} not in "
+                f"[{self._pos}, {len(self._data)}]"
+            )
+        self._pos = pos
 
     def u8(self) -> int:
         return self.take(1)[0]

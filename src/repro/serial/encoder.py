@@ -13,11 +13,18 @@ Wire grammar (one tag byte, then type-specific body)::
     FLOAT    <8-byte IEEE 754>
     STR      <u32 len> <utf-8>
     BYTES    <u32 len> <raw>
+    BYTEARRAY <u32 len> <raw>               (identity-memoized, mutable)
     LIST/TUPLE/SET/FROZENSET  <u32 count> <items>
     DICT     <u32 count> <key value>*
     OBJECT   <str name> <state value>
     SWIZZLED <str kind> <data value>
     REF      <u32 memo index>
+    OBJECT_SCHEMA <str name> <u32 schema hash> <compiled body>
+
+The last tag is the obicodec fast path (:mod:`repro.serial.compiled`):
+a schema-compiled frame emitted only when ``compiled=True`` *and* the
+class has a derivable scalar schema; everything else — and every frame
+when the flag is off — stays byte-identical to pre-obicodec encoders.
 """
 
 from __future__ import annotations
@@ -26,8 +33,10 @@ import struct
 import sys
 
 from repro.serial import tags
+from repro.serial.compiled import codec_for
 from repro.serial.registry import TypeRegistry, global_registry
 from repro.serial.swizzle import NullSwizzler, Swizzler
+from repro.util.clock import perf_ns
 from repro.util.errors import SerializationError
 
 _U32 = struct.Struct("!I")
@@ -47,13 +56,30 @@ class Encoder:
         swizzler: Swizzler | None = None,
         *,
         max_depth: int = 50_000,
+        compiled: bool = False,
+        stats: object | None = None,
     ):
         self.registry = registry if registry is not None else global_registry
         self.swizzler = swizzler if swizzler is not None else NullSwizzler()
         self.max_depth = max_depth
+        # Opt-in obicodec fast path; off by default so shared encoders
+        # (RMI endpoint, fingerprints) stay byte-identical across peers.
+        self.compiled = compiled
+        self.stats = stats
+        self._fast_hits = 0
+        self._fallbacks = 0
+        # One preallocated buffer reused across frames.  Claimed with an
+        # atomic pop / returned with setdefault, so concurrent encodes on
+        # a shared encoder each get a private buffer (losers allocate).
+        self._scratch = bytearray()
 
     def encode(self, value: object) -> bytes:
-        out = bytearray()
+        out = self.__dict__.pop("_scratch", None)
+        if out is None:
+            out = bytearray()
+        start = perf_ns() if self.stats is not None else 0
+        self._fast_hits = 0
+        self._fallbacks = 0
         # The memo maps id(obj) -> slot.  Memoized objects must stay alive
         # for the whole encode: a freed temporary (e.g. a __getstate__
         # tuple) could otherwise donate its id() to a new object and
@@ -63,9 +89,48 @@ class Encoder:
         # encoder level per element; the guard gives the interpreter stack
         # room — lazily, so shallow frames (the RPC hot path) never pay
         # for a full stack walk.
-        with _RecursionGuard(self.max_depth) as guard:
-            self._write(out, value, memo=memo, depth=0, guard=guard)
-        return bytes(out)
+        try:
+            with _RecursionGuard(self.max_depth) as guard:
+                self._write(out, value, memo=memo, depth=0, guard=guard)
+            frame = bytes(out)
+        finally:
+            out.clear()
+            self.__dict__.setdefault("_scratch", out)
+        if self.stats is not None:
+            self.stats.add(
+                frames_encoded=1,
+                encode_ns=perf_ns() - start,
+                encodes_fast=self._fast_hits,
+                encodes_reflective=self._fallbacks,
+            )
+        return frame
+
+    def encode_compiled(self, value: object) -> bytes | None:
+        """A self-contained ``OBJECT_SCHEMA`` frame for one registered object.
+
+        Returns None when the class has no compiled codec, is registered
+        under a different wire name here, or the live instance's shape
+        drifted from the schema — callers fall back to a reflective
+        frame.  No swizzling applies: compiled schemas admit only scalar
+        fields, so the frame can never carry an object reference.
+        """
+        codec = codec_for(type(value))
+        if codec is None or not self.registry.is_registered(type(value)):
+            return None
+        if self.registry.lookup_class(type(value)).name != codec.name:
+            return None
+        out = self.__dict__.pop("_scratch", None)
+        if out is None:
+            out = bytearray()
+        start = perf_ns() if self.stats is not None else 0
+        try:
+            frame = bytes(out) if codec.encode(out, value, _Memo()) else None
+        finally:
+            out.clear()
+            self.__dict__.setdefault("_scratch", out)
+        if frame is not None and self.stats is not None:
+            self.stats.add(frames_encoded=1, encode_ns=perf_ns() - start, encodes_fast=1)
+        return frame
 
     # ------------------------------------------------------------------
     # internals
@@ -101,9 +166,9 @@ class Encoder:
             out.append(tags.STR)
             self._write_sized(out, value.encode("utf-8"))  # type: ignore[union-attr]
             return
-        if value_type in (bytes, bytearray):
+        if value_type is bytes:
             out.append(tags.BYTES)
-            self._write_sized(out, bytes(value))  # type: ignore[arg-type]
+            self._write_sized(out, value)  # type: ignore[arg-type]
             return
 
         # From here on values are identity-memoized (containers, objects).
@@ -111,6 +176,14 @@ class Encoder:
         if ref is not None:
             out.append(tags.REF)
             out += _U32.pack(ref)
+            return
+
+        # bytearray is mutable, so unlike bytes it participates in the
+        # memo: two fields aliasing one buffer decode to one buffer.
+        if value_type is bytearray:
+            memo.add(value)
+            out.append(tags.BYTEARRAY)
+            self._write_sized(out, bytes(value))
             return
 
         # The replication layer may want this reference to travel as a
@@ -130,10 +203,10 @@ class Encoder:
             self._write_items(out, tags.TUPLE, value, value, memo, depth, guard)  # type: ignore[arg-type]
             return
         if value_type is set:
-            self._write_items(out, tags.SET, value, _canonical(value), memo, depth, guard)  # type: ignore[arg-type]
+            self._write_items(out, tags.SET, value, self._canonical(value), memo, depth, guard)  # type: ignore[arg-type]
             return
         if value_type is frozenset:
-            self._write_items(out, tags.FROZENSET, value, _canonical(value), memo, depth, guard)  # type: ignore[arg-type]
+            self._write_items(out, tags.FROZENSET, value, self._canonical(value), memo, depth, guard)  # type: ignore[arg-type]
             return
         if value_type is dict:
             memo.add(value)
@@ -145,6 +218,15 @@ class Encoder:
             return
 
         entry = self.registry.lookup_class(value_type)
+        if self.compiled:
+            codec = codec_for(value_type)
+            if codec is not None and codec.name == entry.name and codec.encode(out, value, memo):
+                self._fast_hits += 1
+                return
+            # No codec, or the instance shape drifted from the schema
+            # (extra attrs, polymorphic value, out-of-range int): the
+            # reflective path below handles it, counted as a fallback.
+            self._fallbacks += 1
         memo.add(value)
         out.append(tags.OBJECT)
         self._write_str(out, entry.name)
@@ -186,17 +268,30 @@ class Encoder:
     def _write_str(self, out: bytearray, text: str) -> None:
         self._write_sized(out, text.encode("utf-8"))
 
+    def _canonical(self, items: set | frozenset) -> list:
+        """Deterministic ordering for set elements, so equal sets encode equal.
 
-def _canonical(items: set | frozenset) -> list:
-    """Deterministic ordering for set elements, so equal sets encode equal.
+        Mixed uncomparable types order by (typename, own wire frame): the
+        element's reflective encoding is value-derived, so two sites encode
+        equal sets to equal bytes.  (The previous ``repr`` fallback embedded
+        ``id()`` addresses for default-repr objects, which differ across
+        processes.)  Only elements the serializer cannot encode at all fall
+        back to ``repr``, and those could never cross the wire anyway.
+        """
+        try:
+            return sorted(items)  # type: ignore[type-var]
+        except TypeError:
+            return sorted(items, key=self._stable_key)
 
-    Sets of mixed uncomparable types fall back to (typename, repr) ordering —
-    stable enough for the frame-size determinism the cost model needs.
-    """
-    try:
-        return sorted(items)  # type: ignore[type-var]
-    except TypeError:
-        return sorted(items, key=lambda item: (type(item).__name__, repr(item)))
+    def _stable_key(self, item: object) -> tuple[str, int, object]:
+        # A fresh reflective encoder: an isolated memo, no swizzling, and
+        # compiled=False keep the key independent of this frame's state
+        # and identical between compiled and reflective peers.
+        try:
+            frame = Encoder(self.registry).encode(item)
+        except SerializationError:
+            return (type(item).__name__, 1, repr(item))
+        return (type(item).__name__, 0, frame)
 
 
 #: Serializer nesting depth at which a frame stops being "plausibly shallow"

@@ -101,6 +101,14 @@ class TypeRegistry:
         )
         self._by_name[wire_name] = entry
         self._by_class[cls] = entry
+        if get_state is None and set_state is None and factory is None:
+            # Default-state classes are candidates for the obicodec fast
+            # path: their wire state *is* the instance dict, so a scalar
+            # schema derived here is authoritative.  Custom hooks opt out.
+            # (Imported lazily: compiled.py never imports the registry.)
+            from repro.serial.compiled import maybe_compile_codec
+
+            maybe_compile_codec(entry)
         return entry
 
     def lookup_class(self, cls: type) -> TypeEntry:

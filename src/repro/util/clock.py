@@ -15,6 +15,17 @@ import time
 from abc import ABC, abstractmethod
 
 
+def perf_ns() -> int:
+    """Monotonic nanosecond counter for serializer micro-profiling.
+
+    Telemetry wants real elapsed nanoseconds even inside simulated-time
+    benchmark runs (a :class:`SimClock` measures modelled cost, not CPU
+    cost), so this deliberately bypasses the Clock abstraction.  It is the
+    only sanctioned ambient-time entry point besides the clocks below.
+    """
+    return time.perf_counter_ns()
+
+
 class Clock(ABC):
     """Abstract time source measured in seconds."""
 

@@ -31,9 +31,33 @@ class TestWireCrossCheck:
         tag_names = {
             name for name in vars(tags) if not name.startswith("_")
         }
-        assert {"NONE", "INT", "FLOAT", "STR", "BYTES", "LIST", "TUPLE",
-                "DICT", "SET", "FROZENSET"} <= tag_names
-        assert {list, dict, set, frozenset, bytes} <= contract.WIRE_ENCODABLE_BUILTINS
+        assert {"NONE", "INT", "FLOAT", "STR", "BYTES", "BYTEARRAY", "LIST",
+                "TUPLE", "DICT", "SET", "FROZENSET", "OBJECT_SCHEMA"} <= tag_names
+        assert {list, dict, set, frozenset, bytes, bytearray} <= contract.WIRE_ENCODABLE_BUILTINS
+
+    def test_tag_bytes_are_unique(self):
+        values = [
+            value for name, value in vars(tags).items()
+            if not name.startswith("_") and isinstance(value, int)
+        ]
+        assert len(values) == len(set(values))
+
+    def test_schema_codec_names_track_the_codec_cache(self):
+        from repro.serial.compiled import codec_for
+        from repro.serial.registry import TypeRegistry
+
+        class Probe:
+            def __init__(self, n: int):
+                self.n = n
+
+        TypeRegistry().register(Probe, name="contract.Probe")
+        assert codec_for(Probe) is not None
+        names = contract.schema_codec_names()
+        assert "contract.Probe" in names
+        # Every advertised codec corresponds to a class that compiled one.
+        from repro.serial.compiled import registered_codec_names
+
+        assert names == registered_codec_names()
 
     def test_unserializable_factories_are_not_registered(self):
         # No "unserializable" type may quietly gain a registry entry:

@@ -29,6 +29,7 @@ def test_all_commands_registered():
         "fault-batching",
         "delta-sync",
         "tracing-overhead",
+        "codec-throughput",
     }
     assert set(COMMANDS) == expected
 

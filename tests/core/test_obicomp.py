@@ -291,3 +291,39 @@ class TestEmit:
 
         source = emit_module([Box])
         assert source.startswith('"""Generated by obicomp')
+
+    def test_emitted_module_carries_codec_source(self):
+        from tests.models import Counter
+
+        from repro.serial.compiled import codec_for
+
+        assert codec_for(Counter) is not None  # Counter: value: int = 0
+        source = emit_module([Counter])
+        assert "import struct as _struct" in source
+        assert "_obicodec_encode_" in source
+        namespace: dict = {}
+        exec(compile(source, "<emitted>", "exec"), namespace)
+        encode = next(
+            fn for name, fn in namespace.items() if name.startswith("_obicodec_encode_")
+        )
+        decode = next(
+            fn for name, fn in namespace.items() if name.startswith("_obicodec_decode_")
+        )
+        out = bytearray()
+
+        class _Memo(list):
+            add = list.append
+
+        original = Counter(33)
+        assert encode(out, original, _Memo())
+        header = codec_for(Counter).header
+        rebuilt, end = decode(
+            memoryview(bytes(out))[len(header):], 0, [], lambda: Counter.__new__(Counter)
+        )
+        assert rebuilt.value == 33
+        assert end == len(out) - len(header)
+
+    def test_codecless_class_emits_no_codec_section(self):
+        from tests.models import Box
+
+        assert "_obicodec_" not in emit_proxy_source(Box)

@@ -113,6 +113,111 @@ class TestStateHandling:
             entry.set_state(target, "not-a-dict")
 
 
+class TestStateGetterEdgeCases:
+    """Wire-level coverage for the default state hooks on awkward classes."""
+
+    def _wire(self, registry):
+        from repro.serial.decoder import Decoder
+        from repro.serial.encoder import Encoder
+
+        return Encoder(registry), Decoder(registry)
+
+    def test_getstate_setstate_class_roundtrips_over_wire(self):
+        class Hooked:
+            def __init__(self, a=0, b=0):
+                self.a, self.b = a, b
+                self.cache = object()  # deliberately unserializable
+
+            def __getstate__(self):
+                return (self.a, self.b)
+
+            def __setstate__(self, state):
+                self.a, self.b = state
+                self.cache = None
+
+        registry = TypeRegistry()
+        registry.register(Hooked)
+        encoder, decoder = self._wire(registry)
+        result = decoder.decode(encoder.encode(Hooked(3, 4)))
+        assert (result.a, result.b) == (3, 4)
+        assert result.cache is None  # __setstate__ ran, not vars().update
+
+    def test_getstate_class_gets_no_compiled_codec(self):
+        from repro.serial.compiled import codec_for
+
+        class Hooked:
+            def __init__(self, a: int = 0):
+                self.a = a
+
+            def __getstate__(self):
+                return (self.a,)
+
+            def __setstate__(self, state):
+                (self.a,) = state
+
+        registry = TypeRegistry()
+        registry.register(Hooked)
+        assert codec_for(Hooked) is None
+
+    def test_slots_class_needs_explicit_hooks(self):
+        class Slotted:
+            __slots__ = ("x", "y")
+
+            def __init__(self, x=0, y=0):
+                self.x, self.y = x, y
+
+        registry = TypeRegistry()
+        entry = registry.register(Slotted)
+        # The default getter is vars()-based: a __dict__-less instance
+        # cannot use it.  (obicomp rejects __slots__ outright; direct
+        # registrations must supply hooks.)
+        with pytest.raises(TypeError):
+            entry.get_state(Slotted(1, 2))
+
+    def test_slots_class_roundtrips_with_explicit_hooks(self):
+        class Slotted:
+            __slots__ = ("x", "y")
+
+            def __init__(self, x=0, y=0):
+                self.x, self.y = x, y
+
+        registry = TypeRegistry()
+        registry.register(
+            Slotted,
+            get_state=lambda o: (o.x, o.y),
+            set_state=lambda o, s: (setattr(o, "x", s[0]), setattr(o, "y", s[1])),
+        )
+        encoder, decoder = self._wire(registry)
+        result = decoder.decode(encoder.encode(Slotted(5, 6)))
+        assert (result.x, result.y) == (5, 6)
+
+    def test_memo_survives_id_reuse_under_gc_pressure(self):
+        """``__getstate__`` may return a *fresh* temporary every call.  If
+        the encoder's memo did not keep memoized values alive, a freed
+        temporary could donate its ``id()`` to a later object and turn a
+        distinct value into a bogus back-reference."""
+
+        class Churner:
+            def __init__(self, n=0):
+                self.n = n
+
+            def __getstate__(self):
+                # A fresh list each call: without a keepalive this dies as
+                # soon as the encoder finishes writing it.
+                return [self.n, "pad" * self.n]
+
+            def __setstate__(self, state):
+                self.n = state[0]
+
+        registry = TypeRegistry()
+        registry.register(Churner)
+        encoder, decoder = self._wire(registry)
+        originals = [Churner(n) for n in range(64)]
+        result = decoder.decode(encoder.encode(originals))
+        assert [item.n for item in result] == list(range(64))
+        assert len({id(item) for item in result}) == 64
+
+
 class TestChild:
     def test_child_inherits_entries(self):
         parent = TypeRegistry()

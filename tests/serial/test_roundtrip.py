@@ -5,6 +5,7 @@ import pytest
 from repro.serial.decoder import Decoder
 from repro.serial.encoder import Encoder
 from repro.serial.registry import TypeRegistry
+from repro.util.errors import SerializationError
 
 
 @pytest.fixture
@@ -55,8 +56,26 @@ class TestPrimitives:
         assert roundtrip(codec, True) is True
         assert roundtrip(codec, 1) == 1 and roundtrip(codec, 1) is not True
 
-    def test_bytearray_decodes_as_bytes(self, codec):
-        assert roundtrip(codec, bytearray(b"ab")) == b"ab"
+    def test_bytearray_roundtrips_as_bytearray(self, codec):
+        result = roundtrip(codec, bytearray(b"ab"))
+        assert result == bytearray(b"ab")
+        assert type(result) is bytearray
+
+    def test_bytearray_is_mutable_after_decode(self, codec):
+        result = roundtrip(codec, {"buf": bytearray(b"\x00\x01")})
+        result["buf"][0] = 0xFF
+        assert result["buf"] == bytearray(b"\xff\x01")
+
+    def test_bytearray_alias_preserved(self, codec):
+        shared = bytearray(b"shared")
+        result = roundtrip(codec, [shared, shared])
+        assert result[0] is result[1]
+        assert type(result[0]) is bytearray
+
+    def test_bytearray_distinct_from_bytes(self, codec):
+        result = roundtrip(codec, [b"ab", bytearray(b"ab")])
+        assert type(result[0]) is bytes
+        assert type(result[1]) is bytearray
 
 
 class TestContainers:
@@ -171,6 +190,48 @@ class TestDeterminism:
     def test_set_order_does_not_matter(self, codec):
         encoder, _decoder, _registry = codec
         assert encoder.encode({1, 2, 3}) == encoder.encode({3, 1, 2})
+
+    def test_mixed_type_set_same_bytes_across_encoders(self, codec):
+        _encoder, _decoder, registry = codec
+        value = {1, "one", 2.0, (3,)}
+        assert Encoder(registry).encode(value) == Encoder(registry).encode(value)
+
+    def test_object_set_independent_of_identity(self, codec):
+        """The uncomparable-set fallback keys on wire bytes, not ``repr``:
+        a default repr embeds ``id()``, which differs across processes.
+        Two structurally equal sets built from *different* instances must
+        encode to the same bytes."""
+        _encoder, _decoder, registry = codec
+
+        class Item:
+            def __init__(self, n=0):
+                self.n = n
+
+        registry.register(Item)
+        first = {Item(1), Item(2), "tiebreak"}
+        second = {Item(2), Item(1), "tiebreak"}
+        frames = {Encoder(registry).encode(first), Encoder(registry).encode(second)}
+        assert len(frames) == 1
+
+    def test_object_set_roundtrips_after_canonicalization(self, codec):
+        encoder, decoder, registry = codec
+
+        class Tag:
+            def __init__(self, name=""):
+                self.name = name
+
+        registry.register(Tag)
+        result = decoder.decode(encoder.encode({Tag("a"), Tag("b"), 3}))
+        assert {getattr(item, "name", item) for item in result} == {"a", "b", 3}
+
+    def test_unserializable_set_element_still_fails(self, codec):
+        encoder, _decoder, _registry = codec
+
+        class Rogue:
+            pass
+
+        with pytest.raises(SerializationError):
+            encoder.encode({Rogue(), 1})
 
     def test_deep_list_roundtrips(self, codec):
         value = current = []
