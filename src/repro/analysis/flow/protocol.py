@@ -189,6 +189,14 @@ def _extract_events(func: FunctionInfo):
                 yield VerbEvent(verb=verb, func=func, node=triple)
 
 
+def verb_events_of(func: FunctionInfo) -> list[VerbEvent]:
+    """The protocol verbs ``func`` issues, as the analyzer sees them.
+
+    Public wrapper over event extraction for consumers outside the flow
+    rules (the wire layer's spec extractor and OBI304)."""
+    return list(_extract_events(func))
+
+
 def _extract_splices(func: FunctionInfo):
     for node in ast.walk(func.node):
         if not isinstance(node, ast.Call):

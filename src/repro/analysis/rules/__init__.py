@@ -28,6 +28,14 @@ from repro.analysis.rules.concurrency import LockDisciplineRule
 from repro.analysis.rules.dataflow import ReplicaLeakRule
 from repro.analysis.rules.hygiene import NondeterministicClockRule, SwallowedExceptionRule
 from repro.analysis.rules.protocol import ProtocolSuperCallRule
+from repro.analysis.wire.rules import (
+    SchemaInputDriftRule,
+    TagCollisionRule,
+    UnencodableWireFieldRule,
+    UnguardedWidenedTupleRule,
+    VerbWithoutFallbackRule,
+    WireBaselineDriftRule,
+)
 
 
 def build_rules() -> list[Rule]:
@@ -51,6 +59,13 @@ def build_rules() -> list[Rule]:
         StripeKeyMismatchRule(),
         StripeOrderRule(),
         SnapshotReadMutationRule(),
+        # Wire-contract rules (see repro.analysis.wire).
+        TagCollisionRule(),
+        WireBaselineDriftRule(),
+        UnencodableWireFieldRule(),
+        VerbWithoutFallbackRule(),
+        UnguardedWidenedTupleRule(),
+        SchemaInputDriftRule(),
     ]
 
 

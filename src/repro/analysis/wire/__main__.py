@@ -1,0 +1,7 @@
+"""``python -m repro.analysis.wire`` — the obiwire CLI."""
+
+import sys
+
+from repro.analysis.wire.cli import main
+
+sys.exit(main())

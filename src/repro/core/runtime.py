@@ -36,6 +36,13 @@ from repro.core.meta import (
     is_obiwan,
     obi_id_of,
 )
+from repro.core.negotiation import (
+    COMPILED_CODEC,
+    DELTA_SYNC,
+    UNSUPPORTED,
+    PeerCapabilities,
+    probe,
+)
 from repro.core.packages import ObjectMeta, RefreshDeltaReply, RefreshDeltaRequest
 from repro.core.proxy_in import ProxyIn
 from repro.core.proxy_out import ProxyOutBase
@@ -70,10 +77,7 @@ from repro.simnet.threaded import ThreadedNetwork
 from repro.util.clock import Clock, SimClock, WallClock
 from repro.util.errors import (
     ClusterError,
-    ProtocolError,
-    RemoteError,
     ReplicationError,
-    SerializationError,
     UnknownReplicaError,
 )
 from repro.util.events import EventBus
@@ -243,13 +247,11 @@ class Site:
         #: replicas as compiled frames — downgrading per provider site the
         #: first time a pre-codec master rejects the unknown wire tag.
         self.compiled_codec = False
-        #: Provider sites that answered a delta verb with a missing-method
-        #: failure (unversioned peers) — probed once, then skipped.
-        self._peers_lock = threading.Lock()
-        self._no_delta_providers: set[str] = set()
-        #: Provider sites whose master rejected a compiled put frame
-        #: (pre-codec peers) — remembered so later puts go reflective.
-        self._no_codec_providers: set[str] = set()
+        #: One shared verdict cache for every negotiated extension: a
+        #: provider site that failed a delta-verb probe (unversioned
+        #: peer) or rejected a compiled put frame (pre-codec peer) is
+        #: remembered here so later calls skip the probe and go legacy.
+        self.peer_caps = PeerCapabilities()
         #: Local pub/sub used by the consistency and mobility layers.
         #: Topics: ``replica_registered``, ``replica_refreshed``,
         #: ``put_applied``, ``fault_resolved``.
@@ -404,21 +406,27 @@ class Site:
                     info.version = version
                     span.set(path="delta")
                     return version
-            compiled = self._codec_peer_ok(info.provider)
-            package = build_put(self, [replica], compiled=compiled)
-            try:
-                versions = self.endpoint.invoke(info.provider, "put", (package,))
-            except (SerializationError, ReplicationError, RemoteError) as exc:
-                if not (compiled and _codec_unsupported(exc)):
-                    raise
-                # A pre-codec master choked on the OBJECT_SCHEMA tag:
-                # remember the site and retry reflectively.  Put is
-                # last-writer-wins, so the retry is idempotent even if
-                # the first attempt half-landed (it cannot: decode
-                # precedes any mutation on the master side).
-                self._note_no_codec(info.provider)
+            provider = info.provider
+            if self._codec_peer_ok(provider):
+                package = build_put(self, [replica], compiled=True)
+                versions = probe(
+                    self.peer_caps,
+                    provider.site_id,
+                    COMPILED_CODEC,
+                    lambda: self.endpoint.invoke(provider, "put", (package,)),
+                )
+                if versions is UNSUPPORTED:
+                    # A pre-codec master choked on the OBJECT_SCHEMA tag:
+                    # the site is now cached as unsupported; retry
+                    # reflectively.  Put is last-writer-wins, so the
+                    # retry is idempotent even if the first attempt
+                    # half-landed (it cannot: decode precedes any
+                    # mutation on the master side).
+                    package = build_put(self, [replica], compiled=False)
+                    versions = self.endpoint.invoke(provider, "put", (package,))
+            else:
                 package = build_put(self, [replica], compiled=False)
-                versions = self.endpoint.invoke(info.provider, "put", (package,))
+                versions = self.endpoint.invoke(provider, "put", (package,))
             version = versions.get(oid)
             if version is None:
                 raise UnknownReplicaError(
@@ -1006,13 +1014,7 @@ class Site:
         """True when puts to this provider's site may use compiled frames."""
         if not self.compiled_codec or provider is None:
             return False
-        with self._peers_lock:
-            return provider.site_id not in self._no_codec_providers
-
-    def _note_no_codec(self, provider: RemoteRef) -> None:
-        """Remember that ``provider``'s site rejects OBJECT_SCHEMA frames."""
-        with self._peers_lock:
-            self._no_codec_providers.add(provider.site_id)
+        return self.peer_caps.assume(provider.site_id, COMPILED_CODEC)
 
     # ------------------------------------------------------------------
     # delta-sync plumbing (PR 4)
@@ -1021,13 +1023,7 @@ class Site:
         """True unless this provider's site already failed a delta probe."""
         if provider is None:
             return False
-        with self._peers_lock:
-            return provider.site_id not in self._no_delta_providers
-
-    def _note_no_delta(self, provider: RemoteRef) -> None:
-        """Remember that ``provider``'s site lacks the delta verbs."""
-        with self._peers_lock:
-            self._no_delta_providers.add(provider.site_id)
+        return self.peer_caps.assume(provider.site_id, DELTA_SYNC)
 
     def _try_put_delta(
         self, provider: RemoteRef, items: "list[tuple[object, DirtySnapshot]]"
@@ -1035,7 +1031,7 @@ class Site:
         """One delta put attempt; ``None`` means "use the full path".
 
         Handles the two downgrade shapes: an unversioned peer (missing
-        ``put_delta`` → remembered in :attr:`_no_delta_providers`) and a
+        ``put_delta`` → remembered in :attr:`peer_caps`) and a
         ``NEED_FULL`` answer (version/fingerprint mismatch at the
         master).  On success, commits every snapshot so the dirty sets
         re-baseline, and credits the bytes the full path would have
@@ -1045,12 +1041,13 @@ class Site:
             self, [(replica, snap.fields) for replica, snap in items]
         )
         with self.tracer.span("put_delta", entries=len(items)) as span:
-            try:
-                result = self.endpoint.invoke(provider, "put_delta", (package,))
-            except (ProtocolError, RemoteError) as exc:
-                if not _delta_unsupported(exc):
-                    raise
-                self._note_no_delta(provider)
+            result = probe(
+                self.peer_caps,
+                provider.site_id,
+                DELTA_SYNC,
+                lambda: self.endpoint.invoke(provider, "put_delta", (package,)),
+            )
+            if result is UNSUPPORTED:
                 span.set(outcome="unversioned_peer")
                 return None
             if isinstance(result, NeedFull):
@@ -1074,12 +1071,13 @@ class Site:
             obi_id=obi_id_of(replica), base_version=base_version
         )
         with self.tracer.span("get_delta", name=request.obi_id) as span:
-            try:
-                reply = self.endpoint.invoke(provider, "get_delta", (request,))
-            except (ProtocolError, RemoteError) as exc:
-                if not _delta_unsupported(exc):
-                    raise
-                self._note_no_delta(provider)
+            reply = probe(
+                self.peer_caps,
+                provider.site_id,
+                DELTA_SYNC,
+                lambda: self.endpoint.invoke(provider, "get_delta", (request,)),
+            )
+            if reply is UNSUPPORTED:
                 span.set(outcome="unversioned_peer")
                 return None
             if isinstance(reply, NeedFull):
@@ -1262,44 +1260,6 @@ class World:
 
     def __repr__(self) -> str:
         return f"World({type(self.network).__name__}, sites={sorted(self.sites)})"
-
-
-def _delta_unsupported(exc: BaseException) -> bool:
-    """True when a delta-verb failure means "this peer predates delta sync".
-
-    An unversioned peer's skeleton reports the missing verb as a
-    :class:`ProtocolError` ("has no method"); a peer whose handler probes
-    attributes may flatten an ``AttributeError`` into a
-    :class:`RemoteError` instead.  Anything else is a genuine failure and
-    must propagate.
-    """
-    if isinstance(exc, ProtocolError):
-        return "has no method" in str(exc)
-    if isinstance(exc, RemoteError):
-        return exc.remote_type == "AttributeError"
-    return False
-
-
-def _codec_unsupported(exc: BaseException) -> bool:
-    """True when a put failure means "this master predates obicodec".
-
-    A pre-codec decoder fails on the first OBJECT_SCHEMA byte with
-    ``unknown wire tag``; a peer that somehow decodes the frame but
-    cannot treat an instance payload as state reports the legacy
-    state-dict complaint.  The RMI layer reconstructs well-known
-    middleware exceptions as their own local type (and flattens unknown
-    ones into :class:`RemoteError`), so both shapes are checked.
-    Anything else is a genuine failure.
-    """
-    if isinstance(exc, SerializationError) or (
-        isinstance(exc, RemoteError) and exc.remote_type == "SerializationError"
-    ):
-        return "unknown wire tag" in str(exc)
-    if isinstance(exc, ReplicationError) or (
-        isinstance(exc, RemoteError) and exc.remote_type == "ReplicationError"
-    ):
-        return "must decode to a state dict" in str(exc)
-    return False
 
 
 def _own_state_size(obj: object) -> int:

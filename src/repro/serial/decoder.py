@@ -17,7 +17,7 @@ from repro.serial.encoder import _LAZY_GUARD_DEPTH, _RecursionGuard
 from repro.serial.registry import TypeRegistry, global_registry
 from repro.serial.swizzle import NullSwizzler, SwizzleDescriptor, Unswizzler
 from repro.util.clock import perf_ns
-from repro.util.errors import SerializationError
+from repro.util.errors import SerializationError, TruncatedFrameError, UnknownWireTagError
 
 _U32 = struct.Struct("!I")
 _F64 = struct.Struct("!d")
@@ -152,9 +152,19 @@ class Decoder:
             # the cursor to where it stopped.
             try:
                 instance, end = codec.decode(reader.buffer, reader.tell(), memo, entry.factory)
-            except (struct.error, IndexError, ValueError) as exc:
+            except (struct.error, IndexError) as exc:
+                # The generated decoder reads with offset arithmetic, so a
+                # short buffer surfaces as struct.error / IndexError —
+                # normalize to the same typed error the reflective path
+                # raises instead of letting the raw exception escape.
+                raise TruncatedFrameError(
+                    f"truncated compiled frame for {name!r}: {exc}",
+                    offset=reader.tell(),
+                    available=reader.remaining,
+                ) from None
+            except ValueError as exc:
                 raise SerializationError(
-                    f"truncated or corrupt compiled frame for {name!r}: {exc}"
+                    f"corrupt compiled frame for {name!r}: {exc}"
                 ) from None
             reader.seek(end)
             self._fast_hits += 1
@@ -167,7 +177,7 @@ class Decoder:
             materialized = self.unswizzler.unswizzle(SwizzleDescriptor(kind=kind, data=data))
             memo[slot] = materialized
             return materialized
-        raise SerializationError(f"unknown wire tag 0x{tag:02x}")
+        raise UnknownWireTagError(f"unknown wire tag 0x{tag:02x}", tag=tag)
 
 
 _PENDING = object()
@@ -190,9 +200,12 @@ class _Reader:
     def take(self, count: int) -> memoryview:
         end = self._pos + count
         if end > len(self._data):
-            raise SerializationError(
+            raise TruncatedFrameError(
                 f"truncated frame: wanted {count} bytes at offset {self._pos}, "
-                f"only {len(self._data) - self._pos} available"
+                f"only {len(self._data) - self._pos} available",
+                offset=self._pos,
+                wanted=count,
+                available=len(self._data) - self._pos,
             )
         chunk = self._data[self._pos : end]
         self._pos = end

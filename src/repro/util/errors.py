@@ -70,6 +70,42 @@ class ReplicationError(ObiwanError):
     """The replication engine could not create or refresh a replica."""
 
 
+class TruncatedFrameError(SerializationError, ReplicationError):
+    """A wire frame ended before its own structure said it would.
+
+    Raised by the decoder (reflective and compiled paths alike) whenever a
+    read runs past the end of the buffer — a short TCP read, a sliced
+    payload, or a sender that crashed mid-encode.  Derives from both
+    :class:`SerializationError` (existing decode-failure handlers keep
+    working) and :class:`ReplicationError` (the replication engine treats
+    a truncated replica frame as a failed refresh, not a codec bug).
+
+    :attr:`offset` is where the read started, :attr:`wanted` how many
+    bytes the frame structure asked for, :attr:`available` how many were
+    left.
+    """
+
+    def __init__(self, message: str, *, offset: int = 0, wanted: int = 0, available: int = 0):
+        super().__init__(message)
+        self.offset = offset
+        self.wanted = wanted
+        self.available = available
+
+
+class UnknownWireTagError(SerializationError):
+    """The decoder met a tag byte outside the tag table.
+
+    Raised instead of silently misparsing: either the peer speaks a newer
+    protocol (a tag this build does not know), or the stream is corrupt.
+    :attr:`tag` carries the offending byte so negotiation layers can log
+    and downgrade precisely.
+    """
+
+    def __init__(self, message: str, *, tag: int = -1):
+        super().__init__(message)
+        self.tag = tag
+
+
 class UnknownReplicaError(ReplicationError):
     """A protocol message referenced an object id unknown at this site.
 

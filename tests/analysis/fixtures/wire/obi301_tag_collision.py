@@ -1,0 +1,15 @@
+"""Seeded defect: a new tag byte collides with a committed one (OBI301).
+
+A vendored tag table where DELTA was added by picking "the next number"
+without checking — 0x05 is already STR, so every string frame and every
+delta frame now dispatch to whichever decoder branch wins.
+"""
+
+NONE = 0x00
+FALSE = 0x01
+TRUE = 0x02
+INT = 0x03
+FLOAT = 0x04
+STR = 0x05
+BYTES = 0x06
+DELTA = 0x05  # collides with STR

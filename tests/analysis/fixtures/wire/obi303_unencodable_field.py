@@ -1,0 +1,20 @@
+"""Seeded defect: wire state holding a lock (OBI303).
+
+A registered class whose instances guard their own mutation with a
+``threading.Lock`` stored on the instance.  Under reflective dict state
+every attribute travels, so the first get/put that serializes an
+instance dies on the lock — at runtime, on the hot path.
+"""
+
+import threading
+
+from repro.serial.registry import global_registry
+
+
+class TrackedCounter:
+    def __init__(self, value=0):
+        self.value = value
+        self.lock = threading.Lock()  # wire-visible: dict state ships every attr
+
+
+global_registry.register(TrackedCounter, name="fixture.TrackedCounter")

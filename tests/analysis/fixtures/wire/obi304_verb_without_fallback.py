@@ -1,0 +1,15 @@
+"""Seeded defect: a negotiated verb with no downgrade path (OBI304).
+
+``get_schema`` is not part of the seed protocol, so only upgraded peers
+implement it — but this caller neither wraps the invoke in
+``negotiation.probe()`` nor handles a ``NeedFull`` reply.  Against an
+older site the RPC hard-fails instead of falling back.
+"""
+
+
+class SchemaFetcher:
+    def __init__(self, endpoint):
+        self.endpoint = endpoint
+
+    def fetch(self, ref):
+        return self.endpoint.invoke(ref, "get_schema", ())

@@ -1,0 +1,20 @@
+"""Seeded defect: a compiled class with a branch-only schema field (OBI306).
+
+``derive_schema`` walks every ``self.X = ...`` in ``__init__`` — also
+the ones inside conditionals — so ``bonus`` enters the compiled wire
+schema.  But an instance built with ``premium=False`` never assigns it:
+the reflective path ships a state dict without ``bonus`` while the
+compiled codec's schema hash promises it, and the two paths disagree
+about the class's wire shape.
+"""
+
+import obiwan
+
+
+@obiwan.compile
+class Account:
+    def __init__(self, owner: str = "", premium: bool = False):
+        self.owner = owner
+        self.premium = premium
+        if premium:
+            self.bonus = 100  # schema-visible, but only on this branch

@@ -149,9 +149,9 @@ class TestEngine:
 
 
 class TestCatalog:
-    def test_seventeen_rules_shipped(self):
-        assert len(ALL_RULES) == 17
-        assert len({rule.id for rule in ALL_RULES}) == 17
+    def test_twenty_three_rules_shipped(self):
+        assert len(ALL_RULES) == 23
+        assert len({rule.id for rule in ALL_RULES}) == 23
 
     def test_ids_and_names_stable(self):
         catalog = {rule.id: rule.name for rule in ALL_RULES}
@@ -173,6 +173,12 @@ class TestCatalog:
             "OBI207": "stripe-key-mismatch",
             "OBI208": "stripe-order",
             "OBI209": "snapshot-read-mutation",
+            "OBI301": "tag-collision",
+            "OBI302": "wire-baseline-drift",
+            "OBI303": "unencodable-wire-field",
+            "OBI304": "verb-without-fallback",
+            "OBI305": "unguarded-widened-tuple",
+            "OBI306": "schema-input-drift",
         }
 
     def test_every_rule_documented(self):
