@@ -1,0 +1,216 @@
+"""Reactor-discipline rule (OBI401).
+
+OBI401 — blocking call on the reactor loop thread.  The obireactor
+transport (:mod:`repro.simnet.reactor`) runs every socket in the process
+on ONE event-loop thread; a body that runs there must never park.  A
+single ``time.sleep``, blocking socket op, lock acquire or thread join
+inside a loop callback stalls *every* connection the process holds — the
+exact convoy the reactor exists to eliminate.
+
+The rule keys on declaration, not inference: a function is loop-hosted
+if it is decorated with ``@loop_callback`` (the marker
+:mod:`repro.simnet.reactor` attaches to selector entry points) or is an
+``async def`` (coroutine bodies share their event loop the same way).
+Inside such a body the rule flags:
+
+* ``time.sleep`` / ``socket.create_connection`` / ``select.select``;
+* blocking socket methods — ``connect``/``sendall``/``makefile`` always,
+  and ``accept``/``recv``/``recv_into``/``recvfrom``/``send`` unless the
+  module puts its sockets in non-blocking mode (a literal
+  ``.setblocking(False)`` call anywhere in the file);
+* waits on other threads: ``.join()`` / ``.result()`` / ``.wait()`` /
+  ``.wait_for()`` (string-literal receivers are exempt, so
+  ``", ".join(parts)`` stays quiet);
+* lock acquisition: ``with <lock-like>:`` or ``.acquire()`` without
+  ``blocking=False``.  Locked bookkeeping belongs in a small undecorated
+  helper (so the critical section is tight and auditable) or on a
+  dispatch worker — the discipline ``repro.simnet.reactor`` itself
+  follows.
+
+Nested ``def``s inside a callback are skipped: they run wherever they
+are later invoked, and are checked on their own if they carry the
+decorator.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis.contract import LOOP_CALLBACK_DECORATORS
+from repro.analysis.findings import Finding, Rule, Severity
+from repro.analysis.visitor import dotted_name, import_map, resolve_call_name
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import ModuleSource
+
+#: Dotted callables that always park the calling thread.
+_BLOCKING_DOTTED: dict[str, str] = {
+    "time.sleep": "sleeps the shared loop for its full duration",
+    "socket.create_connection": "blocks until the TCP handshake completes",
+    "select.select": "the loop already owns the selector; a nested select deadlocks it",
+}
+
+#: Socket/transport methods that block regardless of socket mode.
+_ALWAYS_BLOCKING_ATTRS: frozenset[str] = frozenset(
+    {"connect", "sendall", "makefile", "call", "cast", "invoke", "invoke_oneway"}
+)
+
+#: Socket methods that block only on a blocking-mode socket; exempt when
+#: the module demonstrably runs non-blocking (a ``setblocking(False)``
+#: call anywhere in the file).
+_MODE_DEPENDENT_ATTRS: frozenset[str] = frozenset(
+    {"accept", "recv", "recv_into", "recvfrom", "send"}
+)
+
+#: Methods that wait on another thread or future.
+_WAIT_ATTRS: frozenset[str] = frozenset({"join", "result", "wait", "wait_for"})
+
+#: Substrings that mark a context-manager expression as a lock.
+_LOCK_NAME_HINTS: tuple[str, ...] = ("lock", "cond", "mutex", "sem")
+
+
+def _is_loop_callback(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for deco in fn.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = dotted_name(target)
+        if name is not None and name.rsplit(".", 1)[-1] in LOOP_CALLBACK_DECORATORS:
+            return True
+    return False
+
+
+def _body_nodes(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk a function body, stopping at nested function boundaries."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _looks_like_lock(expr: ast.AST) -> bool:
+    target = expr.func if isinstance(expr, ast.Call) else expr
+    name = dotted_name(target)
+    if name is None:
+        return False
+    last = name.rsplit(".", 1)[-1].lower()
+    return any(hint in last for hint in _LOCK_NAME_HINTS)
+
+
+def _module_goes_nonblocking(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "setblocking"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value is False
+        ):
+            return True
+    return False
+
+
+class BlockingCallInReactorRule(Rule):
+    """OBI401: loop callbacks and coroutines must never park."""
+
+    id = "OBI401"
+    name = "blocking-call-in-reactor"
+    severity = Severity.ERROR
+    description = (
+        "time.sleep, blocking socket op, thread join/wait or lock acquire "
+        "inside a @loop_callback body or async def"
+    )
+    rationale = (
+        "the reactor runs every connection in the process on one event-loop "
+        "thread; a single blocking call there stalls all of them — the "
+        "convoy the reactor transport exists to eliminate"
+    )
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        imports = import_map(module.tree)
+        nonblocking = _module_goes_nonblocking(module.tree)
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not (isinstance(fn, ast.AsyncFunctionDef) or _is_loop_callback(fn)):
+                continue
+            where = (
+                "coroutine" if isinstance(fn, ast.AsyncFunctionDef) else "loop callback"
+            )
+            for node in _body_nodes(fn):
+                if isinstance(node, ast.With):
+                    for item in node.items:
+                        if _looks_like_lock(item.context_expr):
+                            yield self.finding(
+                                module,
+                                node,
+                                f"lock acquired in {where} {fn.name}; a contended "
+                                "acquire stalls every connection — move locked "
+                                "bookkeeping to an undecorated helper or a "
+                                "dispatch worker",
+                            )
+                    continue
+                if not isinstance(node, ast.Call):
+                    continue
+                yield from self._check_call(module, fn.name, where, node, imports, nonblocking)
+
+    def _check_call(
+        self,
+        module: "ModuleSource",
+        fn_name: str,
+        where: str,
+        node: ast.Call,
+        imports: dict[str, str],
+        nonblocking: bool,
+    ) -> Iterator[Finding]:
+        resolved = resolve_call_name(node.func, imports)
+        if resolved in _BLOCKING_DOTTED:
+            yield self.finding(
+                module,
+                node,
+                f"{resolved} in {where} {fn_name} {_BLOCKING_DOTTED[resolved]}; "
+                "hand the wait to a dispatch worker or a timer command",
+            )
+            return
+        if not isinstance(node.func, ast.Attribute):
+            return
+        attr = node.func.attr
+        receiver = node.func.value
+        if attr in _WAIT_ATTRS:
+            if isinstance(receiver, ast.Constant):
+                return  # ", ".join(parts) and friends
+            yield self.finding(
+                module,
+                node,
+                f".{attr}() in {where} {fn_name} waits on another thread from "
+                "the loop thread; complete the future from a worker instead",
+            )
+            return
+        if attr == "acquire":
+            for kw in node.keywords:
+                if (
+                    kw.arg == "blocking"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is False
+                ):
+                    return
+            yield self.finding(
+                module,
+                node,
+                f".acquire() in {where} {fn_name} can park the loop thread; "
+                "pass blocking=False or move it to an undecorated helper",
+            )
+            return
+        if attr in _ALWAYS_BLOCKING_ATTRS or (
+            attr in _MODE_DEPENDENT_ATTRS and not nonblocking
+        ):
+            yield self.finding(
+                module,
+                node,
+                f".{attr}() in {where} {fn_name} can block the loop thread, "
+                "stalling every connection in the process",
+            )

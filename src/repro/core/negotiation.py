@@ -193,3 +193,25 @@ COMPILED_CODEC = Capability(
     probe_errors=(SerializationError, ReplicationError, RemoteError),
     unsupported=_codec_unsupported,
 )
+
+
+def _pipelined_unsupported(exc: BaseException) -> bool:  # pragma: no cover
+    """The pipelining probe never classifies by exception shape."""
+    return False
+
+
+#: PR 9's pipelined correlation-ID framing (obireactor).  Unlike delta
+#: and codec, this extension cannot probe by failure shape: a frame kind
+#: an old peer has never heard of does not produce a classifiable error —
+#: it kills the peer's connection-serving thread outright.  The reactor
+#: therefore negotiates *in band*: the first exchange to a peer is a
+#: fully legacy frame whose request id carries a reversible marker that
+#: an upgraded server rewrites in its echo, and a legacy server returns
+#: untouched.  This :class:`Capability` exists as the cache key for that
+#: verdict in :class:`PeerCapabilities` (``probe_errors`` is empty — the
+#: marker probe never raises a capability-classifiable error).
+PIPELINED_FRAMES = Capability(
+    name="pipelined_frames",
+    probe_errors=(),
+    unsupported=_pipelined_unsupported,
+)

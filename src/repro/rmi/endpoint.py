@@ -177,6 +177,29 @@ class RmiEndpoint:
             f"{type(result).__name__}"
         )
 
+    def invoke_async(
+        self, ref: RemoteRef, method: str, args: tuple = (), kwargs: dict | None = None
+    ) -> "InvokeFuture":
+        """Start a remote invocation without waiting for its result.
+
+        Returns an :class:`InvokeFuture` whose :meth:`~InvokeFuture.result`
+        blocks (and re-raises remote failures) exactly like
+        :meth:`invoke`.  On a pipelining transport many futures share one
+        multiplexed connection; on every other transport the request
+        completes synchronously before this returns, so semantics are
+        identical either way.  Local refs dispatch immediately.
+        """
+        request = InvokeRequest(
+            object_id=ref.object_id, method=method, args=args, kwargs=kwargs or {}
+        )
+        if ref.site_id == self.site_id:
+            return InvokeFuture._settled(self, self.objects.dispatch(request), method, ref)
+        with self.tracer.span("rmi.invoke", name=method, dst=ref.site_id):
+            request.trace = current()
+            payload = self._encoder().encode(request)
+            pending = self._endpoint.submit(ref.site_id, payload)
+        return InvokeFuture(self, pending, method, ref)
+
     def invoke_batch(
         self, site_id: str, calls: Sequence[tuple[RemoteRef, str, tuple]]
     ) -> list[object]:
@@ -189,6 +212,13 @@ class RmiEndpoint:
         calls fail independently, so one bad entry never poisons the rest.
         Local refs short-circuit through the object table like
         :meth:`invoke`.
+
+        On a transport that pipelines frames to ``site_id``, the batch is
+        fanned out as one in-flight request per call instead of a single
+        batch frame: the server dispatches entries concurrently across
+        its worker pool and answers in completion order, while the
+        one-frame ``InvokeBatchRequest`` path remains the shape every
+        other peer sees.
         """
         if not calls:
             return []
@@ -202,6 +232,8 @@ class RmiEndpoint:
             requests.append(InvokeRequest(object_id=ref.object_id, method=method, args=args))
         if site_id == self.site_id:
             results: list = [self.objects.dispatch(request) for request in requests]
+        elif len(requests) > 1 and self._endpoint.supports_pipelining(site_id):
+            results = self._invoke_batch_pipelined(site_id, requests)
         else:
             with self.tracer.span(
                 "rmi.invoke_batch", dst=site_id, calls=len(requests)
@@ -230,6 +262,34 @@ class RmiEndpoint:
                     f"batched invocation returned unexpected entry {type(result).__name__}"
                 )
         return outcomes
+
+    def _invoke_batch_pipelined(
+        self, site_id: str, requests: list[InvokeRequest]
+    ) -> list:
+        """Fan a batch out as pipelined single-invoke frames.
+
+        All frames are submitted before any result is awaited, so the
+        whole batch is in flight on one multiplexed connection at once.
+        Failure semantics match the single-frame batch: remote
+        invocation failures come back as :class:`InvokeFailure` entries,
+        a transport failure raises.
+        """
+        with self.tracer.span(
+            "rmi.invoke_batch", dst=site_id, calls=len(requests), pipelined=True
+        ):
+            context = current()
+            encoder_payloads = []
+            for request in requests:
+                if context is not None:
+                    request.trace = context
+                encoder_payloads.append(self._encoder().encode(request))
+            pendings = [
+                self._endpoint.submit(site_id, payload) for payload in encoder_payloads
+            ]
+            results = []
+            for pending in pendings:
+                results.append(self._decoder().decode(pending.result()))
+        return results
 
     def invoke_oneway(self, ref: RemoteRef, method: str, args: tuple = (), kwargs: dict | None = None) -> None:
         """Fire-and-forget invocation (update dissemination, invalidations).
@@ -294,3 +354,50 @@ class RmiEndpoint:
 
     def __repr__(self) -> str:
         return f"RmiEndpoint({self.site_id!r}, {len(self.objects)} exported)"
+
+
+class InvokeFuture:
+    """Handle on an in-flight remote invocation (see ``invoke_async``)."""
+
+    def __init__(self, endpoint: RmiEndpoint, pending, method: str, ref: RemoteRef):
+        self._rmi = endpoint
+        self._pending = pending
+        self._method = method
+        self._ref = ref
+        self._local_result: object | None = None
+
+    @classmethod
+    def _settled(
+        cls, endpoint: RmiEndpoint, result: object, method: str, ref: RemoteRef
+    ) -> "InvokeFuture":
+        """A future for a local dispatch that already ran."""
+        future = cls(endpoint, None, method, ref)
+        future._local_result = result
+        return future
+
+    def done(self) -> bool:
+        return self._pending is None or self._pending.done()
+
+    def cancel(self) -> bool:
+        """Abandon the invocation; only this request is poisoned."""
+        return False if self._pending is None else self._pending.cancel()
+
+    def result(self, timeout: float | None = None) -> object:
+        """The invocation's return value; re-raises remote failures
+        locally, exactly like :meth:`RmiEndpoint.invoke`."""
+        if self._pending is None:
+            body = self._local_result
+        else:
+            body = self._rmi._decoder().decode(self._pending.result(timeout))
+        if isinstance(body, InvokeSuccess):
+            return body.value
+        if isinstance(body, InvokeFailure):
+            body.raise_()
+        raise ProtocolError(
+            f"invocation of {self._method!r} on {self._ref} returned unexpected "
+            f"body {type(body).__name__}"
+        )
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "pending"
+        return f"InvokeFuture({self._method!r} on {self._ref.site_id!r}, {state})"

@@ -10,6 +10,7 @@ stubs and replicas, never raw frames.
 from __future__ import annotations
 
 import random
+import threading
 from abc import ABC, abstractmethod
 from collections.abc import Callable
 
@@ -19,10 +20,105 @@ from repro.simnet.partition import ConnectivityMap
 from repro.simnet.stats import NetworkStats
 from repro.util.clock import Clock, SimClock
 from repro.util.errors import DisconnectedError, TransportError
+from repro.util.ids import new_request_id
 
 #: Inbound frame handler.  For ``REQUEST`` frames the return value is the
 #: response payload; for ``CAST`` frames it is ignored.
 Handler = Callable[[Message], bytes | None]
+
+
+class PendingReply:
+    """A future for one in-flight request.
+
+    The sync facade over pipelined transports: :meth:`Network.submit`
+    returns one of these per request, and :meth:`result` blocks the
+    caller until the correlated response lands (or the deadline passes).
+    Completion and cancellation race safely — whichever settles the
+    reply first wins, and the loser becomes a no-op — so a transport
+    thread completing a reply never trips over a caller timing it out.
+    """
+
+    def __init__(
+        self,
+        request_id: str,
+        *,
+        on_cancel: Callable[["PendingReply"], None] | None = None,
+    ):
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._result: bytes | None = None
+        self._error: BaseException | None = None
+        self._cancelled = False
+        self._settled = False
+        self._on_cancel = on_cancel
+
+    # -- transport side -------------------------------------------------
+    def complete(self, payload: bytes) -> bool:
+        """Deliver the response payload; False if already settled."""
+        with self._lock:
+            if self._settled:
+                return False
+            self._result = payload
+            self._settled = True
+        self._event.set()
+        return True
+
+    def fail(self, error: BaseException) -> bool:
+        """Deliver a failure; False if already settled."""
+        with self._lock:
+            if self._settled:
+                return False
+            self._error = error
+            self._settled = True
+        self._event.set()
+        return True
+
+    # -- caller side ----------------------------------------------------
+    def cancel(self) -> bool:
+        """Abandon the request; only this reply's correlation id is
+        poisoned — sibling requests on the same connection are unharmed.
+        Returns False if a response or failure already settled it."""
+        with self._lock:
+            if self._settled:
+                return False
+            self._cancelled = True
+            self._settled = True
+        if self._on_cancel is not None:
+            self._on_cancel(self)
+        self._event.set()
+        return True
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def cancelled(self) -> bool:
+        with self._lock:
+            return self._cancelled
+
+    def result(self, timeout: float | None = None) -> bytes:
+        """Block for the response payload.
+
+        A timeout cancels this request (and only this request) before
+        raising, so a response that straggles in later is dropped instead
+        of being mismatched to a future call.
+        """
+        if not self._event.wait(timeout):
+            if self.cancel():
+                raise TransportError(
+                    f"request {self.request_id} timed out after {timeout}s"
+                )
+        with self._lock:
+            cancelled = self._cancelled
+            error = self._error
+            payload = self._result
+        if cancelled:
+            raise TransportError(f"request {self.request_id} was cancelled")
+        if error is not None:
+            raise error
+        assert payload is not None
+        return payload
 
 
 class Network(ABC):
@@ -103,6 +199,31 @@ class Network(ABC):
     def cast(self, src: str, dst: str, payload: bytes) -> None:
         """Send a one-way message (best effort once routing succeeds)."""
 
+    def submit(
+        self, src: str, dst: str, payload: bytes, *, timeout: float | None = None
+    ) -> PendingReply:
+        """Start a request and return a :class:`PendingReply` for it.
+
+        The default implementation is the degenerate sync case — it runs
+        :meth:`call` to completion on the calling thread and hands back an
+        already-settled reply — so every transport supports the future
+        API.  Pipelining transports override this to keep many requests
+        in flight per connection.
+        """
+        reply = PendingReply(new_request_id())
+        try:
+            reply.complete(self.call(src, dst, payload, timeout=timeout))
+        except Exception as exc:  # noqa: BLE001 - delivered through the reply
+            reply.fail(exc)
+        return reply
+
+    def supports_pipelining(self, src: str, dst: str) -> bool:
+        """True when :meth:`submit` calls from ``src`` to ``dst`` share a
+        multiplexed connection (many frames in flight at once).  Callers
+        use this to decide whether fanning a batch out into individual
+        submits buys concurrency or just burns round trips."""
+        return False
+
     def close(self) -> None:
         """Shut the transport down; further traffic raises."""
         self._closed = True
@@ -175,6 +296,12 @@ class Endpoint:
 
     def call(self, dst: str, payload: bytes, *, timeout: float | None = None) -> bytes:
         return self.network.call(self.site_id, dst, payload, timeout=timeout)
+
+    def submit(self, dst: str, payload: bytes, *, timeout: float | None = None) -> PendingReply:
+        return self.network.submit(self.site_id, dst, payload, timeout=timeout)
+
+    def supports_pipelining(self, dst: str) -> bool:
+        return self.network.supports_pipelining(self.site_id, dst)
 
     def cast(self, dst: str, payload: bytes) -> None:
         self.network.cast(self.site_id, dst, payload)

@@ -15,8 +15,10 @@ Pool behaviour:
 * a call that fails on a *reused* connection retries once on a fresh
   connection — the peer may have restarted since the socket was pooled;
 * detaching a site closes every pooled connection from or to it, and the
-  pool refuses to retain connections to detached sites, so reconnecting
-  peers (new port) are picked up transparently;
+  pool refuses to retain connections to detached sites *or to a stale
+  incarnation of a re-attached site* (a released socket is pooled only if
+  it still points at the port the site currently listens on), so
+  reconnecting peers (new port) are picked up transparently;
 * reuse/creation counts are recorded in :class:`PoolStats` —
   ``connections_reused`` in site telemetry comes from here.
 
@@ -144,6 +146,11 @@ class TcpNetwork(Network):
         self._accept_threads: dict[str, threading.Thread] = {}
         self._pool: dict[tuple[str, str], list[socket.socket]] = {}
         self._pool_lock = threading.Lock()
+        #: Live server-side connections per serving site, so detach/close
+        #: can reclaim their file descriptors instead of waiting for the
+        #: client pool to notice the peer went away.
+        self._server_conns: dict[str, set[socket.socket]] = {}
+        self._conns_lock = threading.Lock()
         self.pool_stats = PoolStats()
 
     # ------------------------------------------------------------------
@@ -153,7 +160,10 @@ class TcpNetwork(Network):
         server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         server.bind(("127.0.0.1", 0))
-        server.listen(16)
+        # A deep backlog: the accept loop spawns a thread per connection
+        # and falls behind a connect storm easily; with the old backlog of
+        # 16 the kernel RSTs handshakes it cannot queue.
+        server.listen(1024)
         self._servers[site_id] = server
         self._ports[site_id] = server.getsockname()[1]
         thread = threading.Thread(
@@ -165,12 +175,36 @@ class TcpNetwork(Network):
     def _on_detach(self, site_id: str) -> None:
         server = self._servers.pop(site_id, None)
         if server is not None:
+            # shutdown() is what actually wakes the accept loop: on Linux a
+            # bare close() leaves a thread blocked in accept() parked
+            # forever (the join below would then stall for its full
+            # timeout on every detach).
+            try:
+                server.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 server.close()
             except OSError:
                 pass
         self._ports.pop(site_id, None)
-        self._accept_threads.pop(site_id, None)
+        thread = self._accept_threads.pop(site_id, None)
+        if thread is not None and thread is not threading.current_thread():
+            # The accept loop exits as soon as accept() raises on the closed
+            # server socket; joining here keeps detach/close from leaving a
+            # thread racing a re-attach of the same site id.
+            thread.join(timeout=5.0)
+        with self._conns_lock:
+            conns = list(self._server_conns.pop(site_id, ()))
+        for conn in conns:
+            # shutdown() wakes a serving thread blocked in recv (plain
+            # close would leave it parked on the old fd); close then
+            # releases the descriptor immediately.
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            _close_quietly(conn)
         self._drop_pooled(site_id)
 
     def close(self) -> None:
@@ -216,9 +250,25 @@ class TcpNetwork(Network):
 
     def _release(self, src: str, dst: str, sock: socket.socket) -> None:
         """Return a connection to the pool (or close it if the pool is full,
-        the network is closed, or the destination has detached)."""
+        the network is closed, the destination has detached, or the socket
+        points at a stale incarnation of the destination).
+
+        The port comparison closes a leak window where ``_drop_pooled``
+        races an in-flight ``_exchange``: the exchange's socket is checked
+        out when the drop runs, and without the check it would be pooled
+        on release even though it targets a listener that no longer exists
+        (or a previous incarnation of a re-attached site).
+        """
+        try:
+            peer_port = sock.getpeername()[1]
+        except OSError:
+            peer_port = None
         with self._pool_lock:
-            if not self._closed and dst in self._ports:
+            if (
+                not self._closed
+                and peer_port is not None
+                and self._ports.get(dst) == peer_port
+            ):
                 bucket = self._pool.setdefault((src, dst), [])
                 if len(bucket) < POOL_SIZE_PER_PAIR:
                     bucket.append(sock)
@@ -316,6 +366,8 @@ class TcpNetwork(Network):
                 conn, _addr = server.accept()
             except OSError:
                 return  # server socket closed
+            with self._conns_lock:
+                self._server_conns.setdefault(site_id, set()).add(conn)
             threading.Thread(
                 target=self._serve_connection,
                 args=(site_id, conn),
@@ -325,33 +377,42 @@ class TcpNetwork(Network):
 
     def _serve_connection(self, site_id: str, conn: socket.socket) -> None:
         """Serve frames on one persistent connection until the peer closes."""
-        with conn:
-            while True:
+        try:
+            with conn:
+                self._serve_frames(site_id, conn)
+        finally:
+            with self._conns_lock:
+                bucket = self._server_conns.get(site_id)
+                if bucket is not None:
+                    bucket.discard(conn)
+
+    def _serve_frames(self, site_id: str, conn: socket.socket) -> None:
+        while True:
+            try:
+                message = _recv_frame(conn)
+            except (OSError, ConnectionError):
+                return
+            handler = self._handlers.get(site_id)
+            if handler is None:
+                return
+            if message.kind is MessageKind.CAST:
                 try:
-                    message = _recv_frame(conn)
-                except (OSError, ConnectionError):
-                    return
-                handler = self._handlers.get(site_id)
-                if handler is None:
-                    return
-                if message.kind is MessageKind.CAST:
-                    try:
-                        handler(message)
-                    except Exception:  # noqa: BLE001 - one-way, nothing to report to
-                        pass
-                    continue
-                try:
-                    result = handler(message)
-                    if result is None:
-                        reply = message.error(b"handler returned no response")
-                    else:
-                        reply = message.response(result)
-                except Exception as exc:  # noqa: BLE001 - reported to the caller
-                    reply = message.error(repr(exc).encode("utf-8"))
-                try:
-                    _send_frame(conn, reply)
-                except (OSError, ConnectionError):
-                    return
+                    handler(message)
+                except Exception:  # noqa: BLE001 - one-way, nothing to report to
+                    pass
+                continue
+            try:
+                result = handler(message)
+                if result is None:
+                    reply = message.error(b"handler returned no response")
+                else:
+                    reply = message.response(result)
+            except Exception as exc:  # noqa: BLE001 - reported to the caller
+                reply = message.error(repr(exc).encode("utf-8"))
+            try:
+                _send_frame(conn, reply)
+            except (OSError, ConnectionError):
+                return
 
 
 def _idle_socket_alive(sock: socket.socket) -> bool:

@@ -1,0 +1,41 @@
+"""Seeded defect for OBI401: blocking calls on the reactor loop thread.
+
+Every construct below parks the one event-loop thread all connections
+share — a sleep, a blocking-mode socket read, a thread join, a lock
+acquire and a coroutine that sleeps instead of awaiting.  obilint must
+flag each, and nothing else.
+"""
+
+import socket
+import threading
+import time
+
+from repro.simnet.reactor import loop_callback
+
+
+class SleepyMuxer:
+    """A reactor connection whose callbacks violate the loop discipline."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sock = socket.socket()
+        self._worker = threading.Thread(target=self._drain)
+        self._draining = False
+
+    def _drain(self) -> None:
+        """Worker-thread body; blocking is fine here."""
+
+    @loop_callback
+    def on_events(self, mask: int) -> bytes:
+        time.sleep(0.05)  # parks the shared loop for 50 ms
+        return self._sock.recv(4096)  # module never calls setblocking(False)
+
+    @loop_callback
+    def on_flush_command(self) -> None:
+        with self._lock:  # contended acquire convoys every connection
+            self._draining = True
+        self._worker.join()  # waits on another thread from the loop
+
+
+async def pump(conn: SleepyMuxer) -> None:
+    time.sleep(0.01)  # blocks the coroutine's event loop instead of awaiting

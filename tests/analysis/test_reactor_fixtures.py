@@ -1,0 +1,37 @@
+"""The seeded OBI401 fixture is caught by its rule, and only by it.
+
+Same contract as the flow and wire corpora: the fixture under
+``fixtures/reactor/`` holds exactly the defect OBI401 exists for and
+trips no other rule even with the full catalog selected — the precision
+claim the reactor-discipline rule ships with.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+FIXTURE = Path(__file__).parent / "fixtures" / "reactor" / "obi401_blocking_call.py"
+
+
+def test_fixture_detected_by_obi401():
+    report = analyze_paths([FIXTURE], select={"OBI401"})
+    findings = report.all_findings()
+    assert {finding.rule for finding in findings} == {"OBI401"}
+    # sleep + recv in on_events, lock + join in on_flush_command, sleep in pump
+    assert len(findings) == 5
+    lines = {finding.line for finding in findings}
+    assert len(lines) == 5, "each seeded defect is anchored at its own line"
+
+
+def test_fixture_trips_exactly_obi401():
+    report = analyze_paths([FIXTURE])
+    assert {finding.rule for finding in report.all_findings()} == {"OBI401"}
+
+
+def test_shipped_reactor_is_clean():
+    """The transport that motivated the rule satisfies it."""
+    src = Path(__file__).parents[2] / "src" / "repro" / "simnet" / "reactor.py"
+    report = analyze_paths([src], select={"OBI401"})
+    assert report.all_findings() == []

@@ -1,0 +1,175 @@
+"""Unit tests for OBI401 (blocking-call-in-reactor)."""
+
+from __future__ import annotations
+
+
+class TestLoopCallbackScope:
+    def test_sleep_in_loop_callback_flagged(self, lint):
+        findings = lint(
+            """
+            import time
+            from repro.simnet.reactor import loop_callback
+
+            @loop_callback
+            def on_events(mask):
+                time.sleep(1.0)
+            """,
+            rule="OBI401",
+        )
+        assert len(findings) == 1
+        assert "time.sleep" in findings[0].message
+
+    def test_undecorated_helper_not_flagged(self, lint):
+        findings = lint(
+            """
+            import time
+
+            def worker_body():
+                time.sleep(1.0)
+            """,
+            rule="OBI401",
+        )
+        assert findings == []
+
+    def test_nested_def_runs_elsewhere(self, lint):
+        findings = lint(
+            """
+            import time
+            from repro.simnet.reactor import loop_callback
+
+            @loop_callback
+            def on_events(mask):
+                def deferred():
+                    time.sleep(1.0)
+                return deferred
+            """,
+            rule="OBI401",
+        )
+        assert findings == []
+
+    def test_async_def_counts_as_loop_hosted(self, lint):
+        findings = lint(
+            """
+            import time
+
+            async def pump():
+                time.sleep(0.1)
+            """,
+            rule="OBI401",
+        )
+        assert len(findings) == 1
+        assert "coroutine" in findings[0].message
+
+
+class TestSocketModes:
+    def test_recv_flagged_in_blocking_module(self, lint):
+        findings = lint(
+            """
+            from repro.simnet.reactor import loop_callback
+
+            @loop_callback
+            def on_events(sock):
+                return sock.recv(4096)
+            """,
+            rule="OBI401",
+        )
+        assert len(findings) == 1
+
+    def test_recv_exempt_when_module_goes_nonblocking(self, lint):
+        findings = lint(
+            """
+            from repro.simnet.reactor import loop_callback
+
+            def setup(sock):
+                sock.setblocking(False)
+
+            @loop_callback
+            def on_events(sock):
+                return sock.recv(4096)
+            """,
+            rule="OBI401",
+        )
+        assert findings == []
+
+    def test_connect_flagged_even_nonblocking(self, lint):
+        findings = lint(
+            """
+            from repro.simnet.reactor import loop_callback
+
+            def setup(sock):
+                sock.setblocking(False)
+
+            @loop_callback
+            def on_events(sock, addr):
+                sock.connect(addr)
+            """,
+            rule="OBI401",
+        )
+        assert len(findings) == 1
+
+
+class TestWaitsAndLocks:
+    def test_thread_join_flagged(self, lint):
+        findings = lint(
+            """
+            from repro.simnet.reactor import loop_callback
+
+            @loop_callback
+            def on_events(worker):
+                worker.join()
+            """,
+            rule="OBI401",
+        )
+        assert len(findings) == 1
+
+    def test_string_literal_join_exempt(self, lint):
+        findings = lint(
+            """
+            from repro.simnet.reactor import loop_callback
+
+            @loop_callback
+            def on_events(parts):
+                return ", ".join(parts)
+            """,
+            rule="OBI401",
+        )
+        assert findings == []
+
+    def test_with_lock_flagged(self, lint):
+        findings = lint(
+            """
+            from repro.simnet.reactor import loop_callback
+
+            @loop_callback
+            def on_events(self):
+                with self._lock:
+                    self._n += 1
+            """,
+            rule="OBI401",
+        )
+        assert len(findings) == 1
+        assert "lock acquired" in findings[0].message
+
+    def test_acquire_flagged_unless_nonblocking(self, lint):
+        flagged = lint(
+            """
+            from repro.simnet.reactor import loop_callback
+
+            @loop_callback
+            def on_events(self):
+                self._lock.acquire()
+            """,
+            rule="OBI401",
+        )
+        assert len(flagged) == 1
+        clean = lint(
+            """
+            from repro.simnet.reactor import loop_callback
+
+            @loop_callback
+            def on_events(self):
+                return self._lock.acquire(blocking=False)
+            """,
+            rule="OBI401",
+        )
+        assert clean == []

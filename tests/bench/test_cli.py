@@ -30,6 +30,7 @@ def test_all_commands_registered():
         "delta-sync",
         "tracing-overhead",
         "codec-throughput",
+        "connection-scale",
     }
     assert set(COMMANDS) == expected
 

@@ -1,5 +1,6 @@
 """Tests for the localhost TCP transport."""
 
+import os
 import threading
 
 import pytest
@@ -144,3 +145,88 @@ class TestFailureModes:
             t.join()
         assert not errors
         assert len(results) == 6
+
+
+def _open_fds():
+    return len(os.listdir("/proc/self/fd"))
+
+
+class TestShutdownRaces:
+    def test_accept_thread_joined_on_detach(self):
+        net = TcpNetwork(WallClock())
+        try:
+            net.attach("a", _echo)
+            thread = net._accept_threads["a"]
+            assert thread.is_alive()
+            net.detach("a")
+            assert not thread.is_alive()
+            assert "a" not in net._accept_threads
+        finally:
+            net.close()
+
+    def test_release_refuses_stale_incarnation(self):
+        """A socket checked out while its peer detaches and re-attaches
+        (new port) must not be pooled on release — it points at a listener
+        that no longer exists."""
+        net = TcpNetwork(WallClock())
+        try:
+            net.attach("a", lambda m: None)
+            net.attach("b", _echo)
+            sock, _reused = net._acquire("a", "b")
+            net.detach("b")
+            net.attach("b", _echo)  # new incarnation, new port
+            net._release("a", "b", sock)
+            with net._pool_lock:
+                assert not net._pool.get(("a", "b"))
+            # A call still works: it opens a fresh socket to the new port.
+            assert net.call("a", "b", b"hi") == b"echo:hi"
+        finally:
+            net.close()
+
+    def test_close_under_load_leaks_no_fds(self):
+        """Hammer a network with calls while detaching sites, then close;
+        every socket and accept thread must be reclaimed."""
+        baseline = _open_fds()
+        stop = threading.Event()
+        for _round in range(3):
+            net = TcpNetwork(WallClock())
+            net.attach("server", _echo)
+            errors = []
+
+            def client(name, network=net):
+                network.attach(name, lambda m: None)
+                while not stop.is_set():
+                    try:
+                        network.call(name, "server", b"x", timeout=2.0)
+                    except TransportError:
+                        return  # server detached/closed under us: expected
+
+            threads = [
+                threading.Thread(target=client, args=(f"c{i}",), daemon=True)
+                for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            # Let some traffic flow, then tear down mid-flight.
+            deadline = 50
+            while net.pool_stats.total_created + net.pool_stats.total_reused < 8:
+                deadline -= 1
+                if deadline <= 0:
+                    break
+                threading.Event().wait(0.01)
+            net.detach("server")
+            stop.set()
+            for t in threads:
+                t.join(timeout=5.0)
+            net.close()
+            stop.clear()
+            assert not errors
+            accept_threads = [
+                t
+                for t in threading.enumerate()
+                if t.name.startswith("tcp-") and not t.name.startswith("tcp-conn-")
+            ]
+            assert not accept_threads
+        # Allow a little slack for interpreter-internal fds, but pooled
+        # sockets and listeners (dozens across three rounds) must be gone.
+        assert _open_fds() <= baseline + 3
