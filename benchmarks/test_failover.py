@@ -1,0 +1,59 @@
+"""PR-10 bench smoke: change-feed failover.
+
+Asserts the headline acceptance claims — followers run at zero serial
+lag on the synchronous-push transport, a follower joins a live group
+without the write path pausing, promotion resumes writes with zero
+acknowledged-write loss — and records ``BENCH_pr10.json`` at the repo
+root when ``OBIWAN_BENCH_RECORD`` is set (the CI bench-smoke job does).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.bench.failover import failover_report
+
+
+def test_failover_smoke(once):
+    report = once(failover_report)
+    steady = report["steady_state"]
+    live_join = report["live_join"]
+    promotion = report["promotion"]
+
+    # Pushes are synchronous per journal event on loopback: any lag at
+    # all means frames were dropped or misapplied.
+    assert steady["max_lag_serials"] == 0
+    assert steady["final_lag_serials"] == 0
+
+    # The late joiner mirrored the whole group and tails at zero lag —
+    # and the join happened against a live write load, nothing quiesced.
+    assert live_join["mirrors_after_join"] == 32
+    assert live_join["lag_after_join_serials"] == 0
+    assert live_join["join_wall_clock_ms"] > 0
+
+    # The durability claim: every write acknowledged before the crash
+    # is present at the new primary, and post-failover writes fan out.
+    assert promotion["acked_writes_lost"] == 0
+    assert promotion["resume_write_fanned_out"]
+    assert promotion["epoch"] == 2
+    assert promotion["mttr_ms"] > 0
+
+    print("\nPR-10 failover:")
+    print(
+        f"  steady lag    max {steady['max_lag_serials']} serials over "
+        f"{steady['writes']} writes"
+    )
+    print(
+        f"  live join     {live_join['join_wall_clock_ms']:.1f} ms for "
+        f"{live_join['mirrors_after_join']} mirrors"
+    )
+    print(
+        f"  promotion     {promotion['new_primary']} at epoch "
+        f"{promotion['epoch']}, MTTR {promotion['mttr_ms']:.1f} ms, "
+        f"{promotion['acked_writes_lost']}/{promotion['acked_writes']} acked writes lost"
+    )
+
+    if os.environ.get("OBIWAN_BENCH_RECORD"):
+        target = Path(__file__).resolve().parent.parent / "BENCH_pr10.json"
+        target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"  recorded {target}")

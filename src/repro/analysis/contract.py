@@ -40,8 +40,12 @@ PUT_FAMILY_VERBS: frozenset[str] = frozenset(
 
 #: RMI verbs that acquire replica state — the legitimate "source" a
 #: component must reach before it may emit a put-family verb.
-#: ``get_delta`` is the versioned refresh.
-REPLICA_SOURCE_VERBS: frozenset[str] = frozenset({"get", "demand", "get_delta"})
+#: ``get_delta`` is the versioned refresh; the feed acquisition verbs
+#: are how a follower's mirrors come to exist, so its write-through
+#: ``put`` is a legitimate write-back, not unsourced traffic.
+REPLICA_SOURCE_VERBS: frozenset[str] = frozenset(
+    {"get", "demand", "get_delta", "feed_subscribe", "feed_snapshot"}
+)
 
 #: The wire verbs every peer build understands — the protocol surface as
 #: it stood before any negotiated extension (core replication, DGC,
@@ -70,7 +74,17 @@ SEED_WIRE_VERBS: frozenset[str] = frozenset(
 NEGOTIATED_WIRE_VERBS: dict[str, str] = {
     "put_delta": "delta_sync",
     "get_delta": "delta_sync",
+    "feed_subscribe": "feed",
+    "feed_events": "feed",
+    "feed_snapshot": "feed",
+    "promote": "feed",
 }
+
+#: Callables that apply a change-feed frame to local tables.  OBI210
+#: requires every call site to sit below an epoch comparison in the same
+#: function — applying a deposed primary's frame without the check is a
+#: split-brain write (see :mod:`repro.feed.apply`).
+FEED_APPLY_CALLEES: frozenset[str] = frozenset({"apply_feed_frame"})
 
 #: Builtin types with a wire tag in :mod:`repro.serial.tags`.  Everything
 #: else crosses the wire only via the type registry.

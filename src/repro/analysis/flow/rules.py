@@ -1,4 +1,4 @@
-"""The flow rules: OBI201–OBI209.
+"""The flow rules: OBI201–OBI210.
 
 Each rule is a thin adapter from one flow analysis to findings — the
 heavy lifting lives in :mod:`~repro.analysis.flow.locks`,
@@ -18,6 +18,7 @@ import ast
 from collections.abc import Iterator
 from typing import TYPE_CHECKING
 
+from repro.analysis.contract import FEED_APPLY_CALLEES
 from repro.analysis.findings import Finding, ProjectRule, Severity
 from repro.analysis.flow.locks import OrderEdge
 from repro.analysis.flow.project import Project
@@ -305,6 +306,66 @@ class SnapshotReadMutationRule(_FlowRule):
                 f"{mutation.reader.qualname}(): {path} — declared lock-free "
                 "reads must not mutate guarded state",
             )
+
+
+class FeedApplyEpochGuardRule(_FlowRule):
+    """OBI210: a feed frame applied with no epoch comparison before it."""
+
+    id = "OBI210"
+    name = "feed-apply-outside-epoch-check"
+    description = "apply_feed_frame called without an epoch comparison earlier in the function"
+    rationale = (
+        "After a failover the deposed primary may still be pushing frames "
+        "stamped with the old epoch; applying one without first comparing "
+        "epochs is a split-brain write that silently diverges the mirror "
+        "from the group the moment both primaries touch the same object."
+    )
+
+    def check_flow(self, project: Project) -> Iterator[Finding]:
+        for func in project.symtab.functions:
+            applies = [
+                node
+                for node in ast.walk(func.node)
+                if isinstance(node, ast.Call)
+                and _callee_tail(node.func) in FEED_APPLY_CALLEES
+            ]
+            if not applies:
+                continue
+            guard_lines = [
+                node.lineno
+                for node in ast.walk(func.node)
+                if isinstance(node, ast.Compare) and _compares_epoch(node)
+            ]
+            for call in applies:
+                if any(line <= call.lineno for line in guard_lines):
+                    continue
+                yield self.flow_finding(
+                    func.module,
+                    call,
+                    f"{_callee_tail(call.func)}() in {func.qualname}() applies "
+                    "a feed frame with no epoch comparison before it — check "
+                    "the frame's epoch against the local epoch first so a "
+                    "deposed primary's pushes are rejected, not applied",
+                )
+
+
+def _callee_tail(func: ast.expr) -> str | None:
+    """The last component of a call target: ``f`` for ``a.b.f(...)``."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _compares_epoch(compare: ast.Compare) -> bool:
+    """Does this comparison mention an epoch on either side?"""
+    for node in ast.walk(compare):
+        if isinstance(node, ast.Name) and node.id.lower().endswith("epoch"):
+            return True
+        if isinstance(node, ast.Attribute) and node.attr.lower().endswith("epoch"):
+            return True
+    return False
 
 
 def _cycles(adjacency: dict[str, dict[str, OrderEdge]]) -> list[list[str]]:

@@ -11,6 +11,7 @@ from repro.analysis.findings import Rule
 from repro.analysis.flow.rules import (
     BlockingUnderLockRule,
     DemandOutsideFaultPathRule,
+    FeedApplyEpochGuardRule,
     LockOrderCycleRule,
     PutWithoutSourceRule,
     SnapshotReadMutationRule,
@@ -60,6 +61,7 @@ def build_rules() -> list[Rule]:
         StripeKeyMismatchRule(),
         StripeOrderRule(),
         SnapshotReadMutationRule(),
+        FeedApplyEpochGuardRule(),
         # Wire-contract rules (see repro.analysis.wire).
         TagCollisionRule(),
         WireBaselineDriftRule(),

@@ -1,0 +1,131 @@
+"""Failover bench: feed lag, live join, promotion MTTR (PR 10).
+
+Three questions about the change-feed layer, on the deterministic
+loopback world so every number is exact simulated time:
+
+1. **Steady-state lag** — with a primary and two followers under a
+   random-write load, how far behind (in journal serials) do followers
+   run?  Pushes are synchronous per event on this transport, so the
+   expected answer is zero; any positive lag is a delivery regression.
+2. **Live join** — how long does a third follower take to join the
+   group *while the write load keeps running*, and does the write path
+   observe any of it?
+3. **Promotion MTTR** — the primary dies under load; measure the time
+   from death to the first write acknowledged by the new primary, and
+   assert the headline durability claim: zero acknowledged writes lost
+   (an acked write-through survived because its feed echo landed at the
+   acking follower before the ack, and the highest-serial follower won
+   the election).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.workloads import PayloadNode, payload_for_size
+from repro.core.meta import obi_id_of
+from repro.core.runtime import World
+from repro.feed.failover import fail_over
+
+DEFAULT_OBJECTS = 32
+DEFAULT_WRITES = 150
+DEFAULT_OBJECT_SIZE = 64
+DEFAULT_SEED = 20021
+
+
+def failover_report(
+    *,
+    objects: int = DEFAULT_OBJECTS,
+    writes: int = DEFAULT_WRITES,
+    object_size: int = DEFAULT_OBJECT_SIZE,
+    seed: int = DEFAULT_SEED,
+) -> dict:
+    """One full run: steady state, live join, crash, promotion, resume."""
+    rng = random.Random(seed)
+    world = World.loopback(seed=seed)
+    world.create_site("NS")  # the name service must outlive the primary
+    primary_site = world.create_site("P")
+    masters = []
+    for index in range(objects):
+        node = PayloadNode(index=index, payload=payload_for_size(object_size))
+        primary_site.export(node, name=f"node-{index}")
+        masters.append(node)
+    primary = primary_site.feed_primary()
+    f1 = world.create_site("F1").feed_follow("P")
+    f2 = world.create_site("F2").feed_follow("P")
+
+    def write_once(round_index: int) -> None:
+        node = rng.choice(masters)
+        node.set_payload(payload_for_size(object_size))
+        node.index = round_index
+        primary_site.touch(node)
+
+    def lag_of(follower) -> int:
+        return int(follower.site.feed_stats.snapshot()["lag_serials"])
+
+    # -- 1: steady-state lag under load --------------------------------
+    max_lag = 0
+    for round_index in range(writes):
+        write_once(round_index)
+        max_lag = max(max_lag, lag_of(f1), lag_of(f2))
+    steady = {
+        "writes": writes,
+        "max_lag_serials": max_lag,
+        "final_lag_serials": max(lag_of(f1), lag_of(f2)),
+    }
+
+    # -- 2: live join while the writes keep coming ----------------------
+    join_start = world.clock.now()
+    f3 = world.create_site("F3").feed_follow("P")
+    join_ms = (world.clock.now() - join_start) * 1e3
+    for round_index in range(writes, writes + 20):
+        write_once(round_index)
+    live_join = {
+        "join_wall_clock_ms": round(join_ms, 3),
+        "mirrors_after_join": sum(1 for _ in f3.site.iter_masters()),
+        "lag_after_join_serials": lag_of(f3),
+    }
+
+    # -- 3: promotion MTTR and acked-write durability -------------------
+    # Acknowledge writes *at a follower* (write-through: the ack means
+    # the feed echo landed locally), then crash the primary.
+    acked_values = []
+    for round_index in range(5):
+        mirror = f1.site.master_object_for(obi_id_of(masters[round_index]))
+        mirror.index = 10_000 + round_index
+        f1.put_through(mirror)
+        acked_values.append((obi_id_of(mirror), mirror.index))
+    primary.detach()  # the crash
+    crash = world.clock.now()
+    reply = fail_over([f1, f2, f3], reason="bench: primary crashed")
+    new_primary_site = world.sites[reply.site_id]
+    survivor = next(f for f in (f1, f2, f3) if f.site.name != reply.site_id)
+    resumed = new_primary_site.master_object_for(acked_values[0][0])
+    resumed.index = 99_999
+    new_primary_site.touch(resumed)  # first post-failover write fans out
+    mttr_ms = (world.clock.now() - crash) * 1e3
+    lost = sum(
+        1
+        for oid, value in acked_values
+        if new_primary_site.master_object_for(oid).index
+        not in (value, 99_999)  # the resume write overwrote the first one
+    )
+    echoed = survivor.site.master_object_for(acked_values[0][0])
+    promotion = {
+        "new_primary": reply.site_id,
+        "epoch": reply.epoch,
+        "mttr_ms": round(mttr_ms, 3),
+        "acked_writes": len(acked_values),
+        "acked_writes_lost": lost,
+        "resume_write_fanned_out": bool(echoed is not None and echoed.index == 99_999),
+    }
+
+    return {
+        "workload": (
+            f"{objects} objects x {object_size} B, {writes} random writes, "
+            "primary + 2 followers, live join + crash + promotion"
+        ),
+        "steady_state": steady,
+        "live_join": live_join,
+        "promotion": promotion,
+    }

@@ -195,6 +195,35 @@ COMPILED_CODEC = Capability(
 )
 
 
+def _feed_unsupported(exc: BaseException) -> bool:
+    """True when a feed-verb failure means "this peer predates obifeed".
+
+    A pre-feed peer never exported the well-known feed service object, so
+    its skeleton answers ``no exported object 'obj:feed'``; a peer that
+    exports something under the id but lacks the verb reports ``has no
+    method``.  Either shape may arrive as a local :class:`ProtocolError`
+    (reconstructed by the RMI layer) or flattened into a
+    :class:`RemoteError`.  Anything else is a genuine failure.
+    """
+    message = str(exc)
+    shapes = ("no exported object", "has no method")
+    if isinstance(exc, ProtocolError):
+        return any(shape in message for shape in shapes)
+    if isinstance(exc, RemoteError) and exc.remote_type == "ProtocolError":
+        return any(shape in message for shape in shapes)
+    return False
+
+
+#: PR 10's change-feed verbs (``feed_subscribe`` / ``feed_events`` /
+#: ``feed_snapshot`` / ``promote``) against a peer that never exported
+#: the feed service.
+FEED = Capability(
+    name="feed",
+    probe_errors=(ProtocolError, RemoteError),
+    unsupported=_feed_unsupported,
+)
+
+
 def _pipelined_unsupported(exc: BaseException) -> bool:  # pragma: no cover
     """The pipelining probe never classifies by exception shape."""
     return False

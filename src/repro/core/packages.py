@@ -177,6 +177,180 @@ class RefreshDeltaReply:
         self.obi_id, self.version, self.payload, self.fingerprint = state  # type: ignore[misc]
 
 
+# ----------------------------------------------------------------------
+# change-feed frames (see repro.feed)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class FeedFrame:
+    """One journaled change streamed primary → follower.
+
+    ``payload`` is the master's full state encoded with the packaging
+    swizzler (references travel as proxy-out descriptions, exactly like a
+    :class:`ReplicaPackage` payload); ``provider`` is the primary's
+    proxy-in for the object so followers can write through.  ``serial``
+    and ``epoch`` order the frame in the group's history.
+    """
+
+    serial: int = 0
+    epoch: int = 0
+    oid: str = ""
+    interface: str = ""
+    version: int = 0
+    payload: bytes = b""
+    provider: RemoteRef | None = None
+
+    def __getstate__(self) -> object:
+        return (self.serial, self.epoch, self.oid, self.interface, self.version, self.payload, self.provider)
+
+    def __setstate__(self, state: object) -> None:
+        (self.serial, self.epoch, self.oid, self.interface, self.version, self.payload, self.provider) = state  # type: ignore[misc]
+
+
+@dataclass(slots=True)
+class FeedBatch:
+    """A push of one or more frames: the ``feed_events`` argument.
+
+    ``latest_serial`` is the primary's journal head at push time so the
+    follower can compute its lag without another round trip.
+    """
+
+    epoch: int = 0
+    primary_id: str = ""
+    latest_serial: int = 0
+    frames: list[FeedFrame] = field(default_factory=list)
+
+    def __getstate__(self) -> object:
+        return (self.epoch, self.primary_id, self.latest_serial, self.frames)
+
+    def __setstate__(self, state: object) -> None:
+        (self.epoch, self.primary_id, self.latest_serial, self.frames) = state  # type: ignore[misc]
+
+
+@dataclass(slots=True)
+class FeedAck:
+    """The follower's answer to ``feed_events``.
+
+    ``accepted=False`` with a higher ``epoch`` tells a deposed primary it
+    has been failed over — its frames were rejected, not applied.
+    """
+
+    epoch: int = 0
+    applied_serial: int = 0
+    accepted: bool = True
+
+    def __getstate__(self) -> object:
+        return (self.epoch, self.applied_serial, self.accepted)
+
+    def __setstate__(self, state: object) -> None:
+        (self.epoch, self.applied_serial, self.accepted) = state  # type: ignore[misc]
+
+
+@dataclass(slots=True)
+class FeedSubscribeRequest:
+    """Register ``site_id`` as a follower, catching up from ``last_serial``."""
+
+    site_id: str = ""
+    last_serial: int = 0
+
+    def __getstate__(self) -> object:
+        return (self.site_id, self.last_serial)
+
+    def __setstate__(self, state: object) -> None:
+        (self.site_id, self.last_serial) = state  # type: ignore[misc]
+
+
+@dataclass(slots=True)
+class FeedSubscribeReply:
+    """The primary's answer to ``feed_subscribe``.
+
+    ``snapshot_needed=True`` means the journal no longer covers
+    ``last_serial`` (retention gap) and the follower must bootstrap from
+    ``feed_snapshot`` instead; ``frames`` then stays empty.  ``providers``
+    maps every mastered oid to the primary's proxy-in so write-through
+    targets are correct even when no catch-up frame mentions the object;
+    ``names`` maps name-server bindings to oids for promotion rebinding.
+    """
+
+    epoch: int = 0
+    latest_serial: int = 0
+    snapshot_needed: bool = False
+    frames: list[FeedFrame] = field(default_factory=list)
+    providers: dict[str, RemoteRef] = field(default_factory=dict)
+    names: dict[str, str] = field(default_factory=dict)
+
+    def __getstate__(self) -> object:
+        return (self.epoch, self.latest_serial, self.snapshot_needed, self.frames, self.providers, self.names)
+
+    def __setstate__(self, state: object) -> None:
+        (self.epoch, self.latest_serial, self.snapshot_needed, self.frames, self.providers, self.names) = state  # type: ignore[misc]
+
+
+@dataclass(slots=True)
+class FeedSnapshotRequest:
+    """Full-state bootstrap request (``site_id`` identifies the follower)."""
+
+    site_id: str = ""
+
+    def __getstate__(self) -> object:
+        return (self.site_id,)
+
+    def __setstate__(self, state: object) -> None:
+        (self.site_id,) = state  # type: ignore[misc]
+
+
+@dataclass(slots=True)
+class FeedSnapshotReply:
+    """Every mastered object's state as of journal ``serial``.
+
+    The serial is captured *before* the states are encoded, so a frame
+    may carry a newer version than the serial implies — followers apply
+    with a version-monotonic guard and then replay the feed tail from
+    ``serial``, which makes the bootstrap safe to run concurrently with
+    ongoing puts (no quiescing).
+    """
+
+    epoch: int = 0
+    serial: int = 0
+    frames: list[FeedFrame] = field(default_factory=list)
+    providers: dict[str, RemoteRef] = field(default_factory=dict)
+    names: dict[str, str] = field(default_factory=dict)
+
+    def __getstate__(self) -> object:
+        return (self.epoch, self.serial, self.frames, self.providers, self.names)
+
+    def __setstate__(self, state: object) -> None:
+        (self.epoch, self.serial, self.frames, self.providers, self.names) = state  # type: ignore[misc]
+
+
+@dataclass(slots=True)
+class PromoteRequest:
+    """Ask a follower to take over as primary at ``epoch``."""
+
+    epoch: int = 0
+    reason: str = ""
+
+    def __getstate__(self) -> object:
+        return (self.epoch, self.reason)
+
+    def __setstate__(self, state: object) -> None:
+        (self.epoch, self.reason) = state  # type: ignore[misc]
+
+
+@dataclass(slots=True)
+class PromoteReply:
+    """Promotion confirmation: the new primary's epoch and journal head."""
+
+    epoch: int = 0
+    serial: int = 0
+    site_id: str = ""
+
+    def __getstate__(self) -> object:
+        return (self.epoch, self.serial, self.site_id)
+
+    def __setstate__(self, state: object) -> None:
+        (self.epoch, self.serial, self.site_id) = state  # type: ignore[misc]
+
+
 for _pkg_cls, _wire_name in (
     (ObjectMeta, "core.ObjectMeta"),
     (ReplicaPackage, "core.ReplicaPackage"),
@@ -186,5 +360,14 @@ for _pkg_cls, _wire_name in (
     (PutDeltaPackage, "core.PutDeltaPackage"),
     (RefreshDeltaRequest, "core.RefreshDeltaRequest"),
     (RefreshDeltaReply, "core.RefreshDeltaReply"),
+    (FeedFrame, "feed.FeedFrame"),
+    (FeedBatch, "feed.FeedBatch"),
+    (FeedAck, "feed.FeedAck"),
+    (FeedSubscribeRequest, "feed.FeedSubscribeRequest"),
+    (FeedSubscribeReply, "feed.FeedSubscribeReply"),
+    (FeedSnapshotRequest, "feed.FeedSnapshotRequest"),
+    (FeedSnapshotReply, "feed.FeedSnapshotReply"),
+    (PromoteRequest, "feed.PromoteRequest"),
+    (PromoteReply, "feed.PromoteReply"),
 ):
     global_registry.register(_pkg_cls, name=_wire_name)

@@ -60,7 +60,7 @@ from repro.core.striping import (
     snapshot_read,
     stripe_of,
 )
-from repro.core.telemetry import SerialPathStats, SyncPathStats
+from repro.core.telemetry import FeedStats, SerialPathStats, SyncPathStats
 from repro.core.versions import ChangeLog, DirtyTracker, DirtySnapshot
 from repro.obs.context import NULL_TRACER, Tracer
 from repro.obs.spans import SpanCollector
@@ -257,6 +257,20 @@ class Site:
         #: Topics: ``replica_registered``, ``replica_refreshed``,
         #: ``put_applied``, ``fault_resolved``.
         self.events = EventBus()
+        #: Change-feed counters (PR 10); always present so telemetry can
+        #: render a ``feed:`` line even for sites with no feed role.
+        self.feed_stats = FeedStats()
+        #: The attached :mod:`repro.feed` role — a ``FeedPrimary`` or
+        #: ``FeedFollower`` — or ``None``.  The exported feed service
+        #: dispatches its verbs through whatever role is current, so a
+        #: promotion swaps behaviour without re-exporting anything.
+        self.feed_role = None
+        #: A peer that detaches and re-attaches may have restarted as a
+        #: different (older) build: drop its cached capability verdicts so
+        #: the next extension use re-probes instead of trusting stale
+        #: state (and, symmetrically, a downgraded verdict does not outlive
+        #: the connection that earned it).
+        endpoint.network.add_topology_listener(self._on_peer_topology)
         #: Per-stripe locks guarding the object tables: provider-side
         #: dispatcher threads and application threads touch them
         #: concurrently on the threaded and TCP transports.  Each stripe's
@@ -286,6 +300,10 @@ class Site:
     def _stripe_of(self, oid: str) -> int:
         """The stripe an obi id routes to (deterministic, node-local)."""
         return stripe_of(oid, self.stripe_count)
+
+    def _on_peer_topology(self, event: str, site_id: str) -> None:
+        if site_id != self.name:
+            self.peer_caps.forget(site_id)
 
     def _read_guard(self, idx: int):
         """Null context by default; stripe ``idx``'s lock when the
@@ -818,6 +836,54 @@ class Site:
             version = record.version
         self.events.publish("put_applied", site=self, oid=oid, version=version)
         return version
+
+    def adopt_master_version(self, oid: str, version: int) -> int:
+        """Raise a mirrored master's version to at least ``version``.
+
+        The feed-apply path: a follower mirrors the primary's version
+        numbers instead of minting its own, so versions stay comparable
+        across the group.  Monotonic (never lowers), publishes nothing —
+        mirrored changes are not local writes.
+        """
+        idx = self._stripe_of(oid)
+        with self._stripe_locks[idx]:
+            record = self._masters[idx].get(oid)
+            if record is None:
+                raise ReplicationError(f"no master {oid!r} at site {self.name!r}")
+            if version > record.version:
+                record.version = version
+            return record.version
+
+    def oid_for_export(self, object_id: str) -> str | None:
+        """The obi id whose proxy-in is exported as ``object_id``, if any."""
+        for idx in range(self.stripe_count):
+            with self._stripe_locks[idx]:
+                for oid, ref in self._provider_refs[idx].items():
+                    if ref.object_id == object_id:
+                        return oid
+        return None
+
+    # ------------------------------------------------------------------
+    # change-feed roles (see repro.feed)
+    # ------------------------------------------------------------------
+    def feed_primary(self, *, epoch: int | None = None):
+        """Attach (and return) a ``FeedPrimary`` role to this site."""
+        from repro.feed.primary import FeedPrimary
+
+        return FeedPrimary(self, epoch=epoch)
+
+    def feed_follow(self, primary_site_id: str):
+        """Attach a ``FeedFollower`` tailing ``primary_site_id``'s feed.
+
+        Subscribes immediately — catching up incrementally when the
+        primary's journal still covers our cursor, bootstrapping from a
+        full snapshot otherwise — and returns the follower role.
+        """
+        from repro.feed.follower import FeedFollower
+
+        follower = FeedFollower(self)
+        follower.start(primary_site_id)
+        return follower
 
     @snapshot_read
     def local_object_for(self, oid: str) -> object | None:

@@ -188,6 +188,133 @@ class SerialPathStats:
         return before
 
 
+@dataclass
+class FeedStats:
+    """Counters and gauges for the change-feed layer (obifeed, PR 10).
+
+    Feed frames are pushed from whatever thread recorded the change and
+    applied on dispatcher threads, so counter bumps go through
+    :meth:`add` under the lock like :class:`SyncPathStats`.  The gauges
+    (``role``/``epoch``/``lag_serials``) are set, not accumulated.
+    """
+
+    #: ``"none"``, ``"primary"``, ``"follower"`` or ``"demoted"``.
+    role: str = "none"
+    #: The failover epoch this site last saw (0 = never in a feed group).
+    epoch: int = 0
+    #: Journal serials the follower still trails the primary by, as of
+    #: the last batch received (0 when caught up, or for primaries).
+    lag_serials: int = 0
+    #: Frames pushed to followers (primary side, per subscriber).
+    frames_pushed: int = 0
+    #: Frames applied to the local tables (follower side).
+    frames_applied: int = 0
+    #: Frames rejected because they carried a stale epoch.
+    stale_epoch_rejects: int = 0
+    #: Journal events replayed during reconnect catch-up.
+    catch_up_events: int = 0
+    #: Full snapshots served to bootstrapping followers (primary side).
+    snapshots_served: int = 0
+    #: Full-snapshot bootstraps performed (follower side).
+    snapshot_bootstraps: int = 0
+    #: Times this site was promoted to primary.
+    promotions: int = 0
+    #: Writes proxied through to the primary (follower side).
+    write_throughs: int = 0
+    #: Pushes that failed to reach a subscriber (marked stalled).
+    push_failures: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add(
+        self,
+        *,
+        frames_pushed: int = 0,
+        frames_applied: int = 0,
+        stale_epoch_rejects: int = 0,
+        catch_up_events: int = 0,
+        snapshots_served: int = 0,
+        snapshot_bootstraps: int = 0,
+        promotions: int = 0,
+        write_throughs: int = 0,
+        push_failures: int = 0,
+    ) -> None:
+        """Atomically bump any subset of the counters."""
+        with self._lock:
+            self.frames_pushed += frames_pushed
+            self.frames_applied += frames_applied
+            self.stale_epoch_rejects += stale_epoch_rejects
+            self.catch_up_events += catch_up_events
+            self.snapshots_served += snapshots_served
+            self.snapshot_bootstraps += snapshot_bootstraps
+            self.promotions += promotions
+            self.write_throughs += write_throughs
+            self.push_failures += push_failures
+
+    def set_gauges(
+        self,
+        *,
+        role: str | None = None,
+        epoch: int | None = None,
+        lag_serials: int | None = None,
+    ) -> None:
+        """Set any subset of the point-in-time gauges."""
+        with self._lock:
+            if role is not None:
+                self.role = role
+            if epoch is not None:
+                self.epoch = epoch
+            if lag_serials is not None:
+                self.lag_serials = lag_serials
+
+    def snapshot(self) -> dict[str, object]:
+        """A mutually-consistent reading of gauges and counters."""
+        with self._lock:
+            return {
+                "role": self.role,
+                "epoch": self.epoch,
+                "lag_serials": self.lag_serials,
+                "frames_pushed": self.frames_pushed,
+                "frames_applied": self.frames_applied,
+                "stale_epoch_rejects": self.stale_epoch_rejects,
+                "catch_up_events": self.catch_up_events,
+                "snapshots_served": self.snapshots_served,
+                "snapshot_bootstraps": self.snapshot_bootstraps,
+                "promotions": self.promotions,
+                "write_throughs": self.write_throughs,
+                "push_failures": self.push_failures,
+            }
+
+    def reset(self) -> dict[str, object]:
+        """Zero the counters (gauges keep their values); returns the prior reading."""
+        with self._lock:
+            before = {
+                "role": self.role,
+                "epoch": self.epoch,
+                "lag_serials": self.lag_serials,
+                "frames_pushed": self.frames_pushed,
+                "frames_applied": self.frames_applied,
+                "stale_epoch_rejects": self.stale_epoch_rejects,
+                "catch_up_events": self.catch_up_events,
+                "snapshots_served": self.snapshots_served,
+                "snapshot_bootstraps": self.snapshot_bootstraps,
+                "promotions": self.promotions,
+                "write_throughs": self.write_throughs,
+                "push_failures": self.push_failures,
+            }
+            self.frames_pushed = 0
+            self.frames_applied = 0
+            self.stale_epoch_rejects = 0
+            self.catch_up_events = 0
+            self.snapshots_served = 0
+            self.snapshot_bootstraps = 0
+            self.promotions = 0
+            self.write_throughs = 0
+            self.push_failures = 0
+        return before
+
+
 @dataclass(frozen=True, slots=True)
 class TelemetrySnapshot:
     """One site's state at a point in (simulated) time."""
@@ -240,6 +367,18 @@ class TelemetrySnapshot:
     serial_fast_decodes: int
     serial_encode_ns: int
     serial_decode_ns: int
+    #: Change-feed role counters (obifeed, PR 10); see :class:`FeedStats`.
+    feed_role: str
+    feed_epoch: int
+    feed_lag_serials: int
+    feed_frames_pushed: int
+    feed_frames_applied: int
+    feed_stale_epoch_rejects: int
+    feed_catch_up_events: int
+    feed_snapshot_bootstraps: int
+    feed_promotions: int
+    feed_write_throughs: int
+    feed_push_failures: int
     #: Reactor-transport gauges (obireactor, PR 9); zeros on every other
     #: transport.  Network-wide, not per-site: one loop serves the world.
     reactor_connections_open: int
@@ -275,6 +414,15 @@ class TelemetrySnapshot:
             f"{self.serial_fast_decodes} fast decodes, "
             f"{self.serial_encode_ns} ns encoding, "
             f"{self.serial_decode_ns} ns decoding\n"
+            f"  feed    : role {self.feed_role}, epoch {self.feed_epoch}, "
+            f"lag {self.feed_lag_serials} serials, "
+            f"{self.feed_frames_pushed} pushed / {self.feed_frames_applied} applied, "
+            f"{self.feed_catch_up_events} catch-up events, "
+            f"{self.feed_snapshot_bootstraps} snapshot bootstraps, "
+            f"{self.feed_stale_epoch_rejects} stale-epoch rejects, "
+            f"{self.feed_promotions} promotions, "
+            f"{self.feed_write_throughs} write-throughs, "
+            f"{self.feed_push_failures} push failures\n"
             f"  reactor : {self.reactor_connections_open} connections held "
             f"(high water {self.reactor_connections_high_water}), "
             f"{self.reactor_frames_pipelined} frames pipelined, "
@@ -321,6 +469,7 @@ def snapshot(site: "Site") -> TelemetrySnapshot:
     )
     sync = site.sync_stats.snapshot()
     serial = site.serial_stats.snapshot()
+    feed = site.feed_stats.snapshot()
     stripe_metrics = site.stripe_metrics()
     collector = getattr(site.tracer, "collector", None)
     span_stats = (
@@ -368,6 +517,17 @@ def snapshot(site: "Site") -> TelemetrySnapshot:
         serial_fast_decodes=serial["decodes_fast"],
         serial_encode_ns=serial["encode_ns"],
         serial_decode_ns=serial["decode_ns"],
+        feed_role=str(feed["role"]),
+        feed_epoch=int(feed["epoch"]),
+        feed_lag_serials=int(feed["lag_serials"]),
+        feed_frames_pushed=int(feed["frames_pushed"]),
+        feed_frames_applied=int(feed["frames_applied"]),
+        feed_stale_epoch_rejects=int(feed["stale_epoch_rejects"]),
+        feed_catch_up_events=int(feed["catch_up_events"]),
+        feed_snapshot_bootstraps=int(feed["snapshot_bootstraps"]),
+        feed_promotions=int(feed["promotions"]),
+        feed_write_throughs=int(feed["write_throughs"]),
+        feed_push_failures=int(feed["push_failures"]),
         reactor_connections_open=int(reactor["connections_open"]),
         reactor_connections_high_water=int(reactor["connections_high_water"]),
         reactor_frames_pipelined=int(reactor["frames_pipelined"]),

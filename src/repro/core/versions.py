@@ -35,8 +35,11 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.serial.delta import IMMUTABLE_SCALARS
+from repro.util.errors import RetentionGapError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Callable
+
     from repro.serial.delta import Fingerprinter
 
 #: Reserved attributes that never count as application state changes.
@@ -219,6 +222,22 @@ def _discard(key: int, track: _Track) -> None:
 # ----------------------------------------------------------------------
 # master side
 # ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class FeedEvent:
+    """One serial-numbered entry in the site-wide change journal.
+
+    ``fields=None`` marks a whole-state change.  Serials are dense and
+    strictly increasing per site; the feed layer (:mod:`repro.feed`)
+    streams these to followers and uses the serial as the catch-up
+    cursor after a disconnection.
+    """
+
+    serial: int
+    oid: str
+    version: int
+    fields: frozenset[str] | None
+
+
 class ChangeLog:
     """Per-master history of which fields each version changed.
 
@@ -226,26 +245,148 @@ class ChangeLog:
     ``touch``).  Retention is bounded per object; asking for a range the
     log no longer covers returns ``None``, which the protocol maps to
     ``NEED_FULL``.
+
+    Beyond the per-oid field log, every :meth:`record` also appends a
+    serial-numbered :class:`FeedEvent` to a site-wide *journal* (its own,
+    larger retention window) and notifies subscribed observers — the
+    substrate of the change feed.  The journal carries an *epoch* number
+    that advances on failover promotion so frames from a deposed primary
+    are recognizably stale.
     """
 
-    def __init__(self, *, retention: int = 64):
+    def __init__(self, *, retention: int = 64, journal_retention: int = 512):
         self._retention = retention
         self._log: dict[str, deque[tuple[int, frozenset[str] | None]]] = {}
+        self._journal: deque[FeedEvent] = deque(maxlen=journal_retention)
+        self._next_serial = 1
+        self._epoch = 0
+        self._observers: list[Callable[[FeedEvent], None]] = []
         self._lock = threading.Lock()
 
-    def record(self, oid: str, version: int, fields: frozenset[str] | None) -> None:
+    def record(self, oid: str, version: int, fields: frozenset[str] | None) -> int:
+        """Record a local change; returns the serial it was journaled at."""
         with self._lock:
             entries = self._log.get(oid)
             if entries is None:
                 entries = deque(maxlen=self._retention)
                 self._log[oid] = entries
             entries.append((version, fields))
+            event = FeedEvent(self._next_serial, oid, version, fields)
+            self._next_serial += 1
+            self._journal.append(event)
+            observers = list(self._observers)
+        # Observers push on the network; never call them under the lock.
+        for observer in observers:
+            observer(event)
+        return event.serial
 
+    def record_mirror(self, serial: int, oid: str, version: int, fields: frozenset[str] | None) -> None:
+        """Journal an event *applied from a feed* at its original serial.
+
+        Followers mirror the primary's journal so that, on promotion, the
+        new primary's serial numbering continues where the group left off
+        and its own field log can serve delta refreshes.  Does not notify
+        observers — mirrored events are not local writes.
+        """
+        with self._lock:
+            entries = self._log.get(oid)
+            if entries is None:
+                entries = deque(maxlen=self._retention)
+                self._log[oid] = entries
+            entries.append((version, fields))
+            self._journal.append(FeedEvent(serial, oid, version, fields))
+            if serial >= self._next_serial:
+                self._next_serial = serial + 1
+
+    def has_history(self, oid: str) -> bool:
+        """Does the field log hold any entry for ``oid``?"""
+        with self._lock:
+            return oid in self._log
+
+    # -- serial / epoch surface -----------------------------------------
+    @property
+    def earliest_serial(self) -> int:
+        """Oldest serial the journal still retains (0 when empty)."""
+        with self._lock:
+            return self._journal[0].serial if self._journal else 0
+
+    @property
+    def latest_serial(self) -> int:
+        """Newest serial handed out (0 before the first record)."""
+        with self._lock:
+            return self._next_serial - 1
+
+    @property
+    def epoch(self) -> int:
+        with self._lock:
+            return self._epoch
+
+    def adopt_epoch(self, epoch: int) -> int:
+        """Raise the epoch to at least ``epoch``; returns the current one."""
+        with self._lock:
+            if epoch > self._epoch:
+                self._epoch = epoch
+            return self._epoch
+
+    def bump_epoch(self) -> int:
+        """Advance the epoch (failover promotion); returns the new one."""
+        with self._lock:
+            self._epoch += 1
+            return self._epoch
+
+    def subscribe(self, observer: "Callable[[FeedEvent], None]") -> None:
+        """Call ``observer(event)`` after every local :meth:`record`.
+
+        Observers run outside the log's lock, on the recording thread.
+        """
+        with self._lock:
+            self._observers.append(observer)
+
+    def unsubscribe(self, observer: "Callable[[FeedEvent], None]") -> None:
+        with self._lock:
+            if observer in self._observers:
+                self._observers.remove(observer)
+
+    def events_since(self, serial: int) -> list[FeedEvent]:
+        """Journal events with serials strictly greater than ``serial``.
+
+        Raises :class:`RetentionGapError` when the journal can no longer
+        prove it covers ``(serial, latest]`` — the caller must bootstrap
+        from a full snapshot instead.
+        """
+        with self._lock:
+            latest = self._next_serial - 1
+            if serial >= latest:
+                return []
+            earliest = self._journal[0].serial if self._journal else latest + 1
+            if earliest > serial + 1:
+                raise RetentionGapError(
+                    f"journal retains serials [{earliest}, {latest}]; "
+                    f"cannot catch up from {serial}",
+                    requested=serial,
+                    earliest=earliest,
+                    latest=latest,
+                )
+            return [event for event in self._journal if event.serial > serial]
+
+    # -- per-oid field ranges -------------------------------------------
     def fields_since(self, oid: str, base_version: int, current_version: int) -> frozenset[str] | None:
         """Union of fields changed in ``(base_version, current_version]``.
 
         ``None`` when the range includes a whole-state change, or when
         the log cannot prove it covers every version in the range.
+        """
+        try:
+            return self.changed_fields(oid, base_version, current_version)
+        except RetentionGapError:
+            return None
+
+    def changed_fields(self, oid: str, base_version: int, current_version: int) -> frozenset[str] | None:
+        """Strict variant of :meth:`fields_since`.
+
+        ``None`` still means "whole-state change in range" (a legitimate
+        downgrade), but a coverage gap raises :class:`RetentionGapError`
+        instead of hiding inside the same ``None``.
         """
         if current_version <= base_version:
             return frozenset()
@@ -259,8 +400,15 @@ class ChangeLog:
                     return None
                 covered.add(version)
                 changed.update(fields)
-        if covered != set(range(base_version + 1, current_version + 1)):
-            return None  # retention gap (or versions bumped without a record)
+        missing = set(range(base_version + 1, current_version + 1)) - covered
+        if missing:
+            retained = sorted(version for version, _ in entries)
+            raise RetentionGapError(
+                f"field log for {oid!r} does not cover versions {sorted(missing)}",
+                requested=base_version,
+                earliest=retained[0] if retained else 0,
+                latest=retained[-1] if retained else 0,
+            )
         return frozenset(changed)
 
     def drop(self, oid: str) -> None:

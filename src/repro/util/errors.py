@@ -118,6 +118,48 @@ class UnknownReplicaError(ReplicationError):
     """
 
 
+class RetentionGapError(ReplicationError):
+    """A serial range fell out of the change log's retention window.
+
+    Raised by :meth:`repro.core.versions.ChangeLog.events_since` (and the
+    strict :meth:`changed_fields`) when the journal can no longer prove it
+    covers every event after the requested serial — the caller must fall
+    back to a full-snapshot bootstrap instead of an incremental catch-up.
+    :attr:`requested` is the serial the caller had, :attr:`earliest` /
+    :attr:`latest` bound what the log still retains.
+    """
+
+    def __init__(self, message: str, *, requested: int = 0, earliest: int = 0, latest: int = 0):
+        super().__init__(message)
+        self.requested = requested
+        self.earliest = earliest
+        self.latest = latest
+
+
+class FeedError(ReplicationError):
+    """A change-feed operation failed (see :mod:`repro.feed`).
+
+    Covers role mismatches (events sent to a site with no follower role),
+    subscriptions against peers that do not speak the feed protocol, and
+    write-throughs that could not be confirmed.
+    """
+
+
+class StaleEpochError(FeedError):
+    """A feed frame carried an epoch older than the receiver's.
+
+    After a failover promotion the group's epoch advances; a deposed
+    primary that keeps pushing is rejected with this error so split-brain
+    writes cannot land.  :attr:`frame_epoch` is what the frame carried,
+    :attr:`current_epoch` what the receiver is on.
+    """
+
+    def __init__(self, message: str, *, frame_epoch: int = 0, current_epoch: int = 0):
+        super().__init__(message)
+        self.frame_epoch = frame_epoch
+        self.current_epoch = current_epoch
+
+
 class ObjectFaultError(ReplicationError):
     """An object fault could not be resolved.
 

@@ -1,0 +1,36 @@
+"""Seeded defect: a feed frame applied with no epoch check (OBI210).
+
+``MirrorTable.ingest`` applies every frame in a batch without ever
+comparing the batch's epoch against its own — after a failover, a
+deposed primary still pushing frames at the old epoch would overwrite
+state the new primary owns (a split-brain write).  ``ingest_checked``
+is the guarded shape the rule accepts: the epoch comparison precedes
+every apply in the same function.
+"""
+
+
+def apply_feed_frame(site, frame):
+    site.objects[frame.oid] = frame.payload
+    return True
+
+
+class MirrorTable:
+    def __init__(self):
+        self.objects = {}
+        self.epoch = 1
+
+    def ingest(self, batch):
+        applied = 0
+        for frame in batch.frames:
+            if apply_feed_frame(self, frame):
+                applied += 1
+        return applied
+
+    def ingest_checked(self, batch):
+        if batch.epoch < self.epoch:
+            return 0
+        applied = 0
+        for frame in batch.frames:
+            if apply_feed_frame(self, frame):
+                applied += 1
+        return applied

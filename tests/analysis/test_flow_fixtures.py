@@ -25,10 +25,11 @@ CASES = [
     ("obi207_stripe_key_mismatch.py", "OBI207"),
     ("obi208_stripe_order.py", "OBI208"),
     ("obi209_snapshot_read_mutation.py", "OBI209"),
+    ("obi210_feed_apply_epoch.py", "OBI210"),
 ]
 
 #: The stripe fixtures are each built to trip exactly one discipline.
-STRIPE_CASES = CASES[-3:]
+STRIPE_CASES = [case for case in CASES if case[1] in {"OBI207", "OBI208", "OBI209"}]
 
 
 @pytest.mark.parametrize(("fixture", "rule"), CASES)
@@ -48,7 +49,7 @@ def test_every_flow_rule_has_a_fixture():
 @pytest.mark.parametrize(("fixture", "rule"), STRIPE_CASES)
 def test_stripe_fixture_triggers_exactly_its_rule(fixture, rule):
     """With every flow rule running, each stripe fixture trips only its own."""
-    all_flow = {f"OBI20{n}" for n in range(1, 10)}
+    all_flow = {f"OBI20{n}" for n in range(1, 10)} | {"OBI210"}
     report = analyze_paths([FIXTURES / fixture], select=all_flow)
     assert {finding.rule for finding in report.all_findings()} == {rule}
 

@@ -244,3 +244,32 @@ class TestSiteSharedCache:
             "delta_sync",
             "compiled_codec",
         }
+
+
+# ----------------------------------------------------------------------
+# Topology-driven cache invalidation (PR 10 satellite)
+# ----------------------------------------------------------------------
+class TestTopologyInvalidation:
+    """A peer that detaches and re-attaches may be a restarted build —
+    possibly upgraded — so its cached capability verdicts must not
+    outlive its connection."""
+
+    def test_detach_forgets_the_peers_verdicts(self, zero_world):
+        consumer = zero_world.create_site("S1")
+        provider = zero_world.create_site("S2")
+        consumer.peer_caps.mark_unsupported(provider.name, DELTA_SYNC)
+        assert not consumer.peer_caps.assume(provider.name, DELTA_SYNC)
+        zero_world.network.detach(provider.name)
+        assert consumer.peer_caps.assume(provider.name, DELTA_SYNC)
+
+    def test_reattach_forgets_verdicts_cached_while_detached(self, zero_world):
+        consumer = zero_world.create_site("S1")
+        consumer.peer_caps.mark_unsupported("S2", COMPILED_CODEC)
+        zero_world.create_site("S2")  # the peer comes up after the verdict
+        assert consumer.peer_caps.assume("S2", COMPILED_CODEC)
+
+    def test_own_attach_leaves_other_verdicts_alone(self, zero_world):
+        consumer = zero_world.create_site("S1")
+        consumer.peer_caps.mark_unsupported("S2", DELTA_SYNC)
+        zero_world.create_site("S3")  # unrelated peer churning
+        assert not consumer.peer_caps.assume("S2", DELTA_SYNC)
